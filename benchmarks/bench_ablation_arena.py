@@ -1,0 +1,67 @@
+"""Ablation A2 — arena allocation policy.
+
+DESIGN.md deviation #1: the paper's "sequentially next free node" array
+read literally means every worker allocation is a contended atomic
+fetch-add. The default build partitions the arena (no contention); this
+ablation runs the literal shared-cursor variant and measures how badly
+worker evaluation inflates — evidence for why the partitioned design is
+the right reading.
+"""
+
+import pytest
+
+from repro.core.interpreter import InterpreterOptions
+from repro.gpu.device import GPUDevice, GPUDeviceConfig
+from repro.gpu.specs import GTX480
+
+from conftest import record_point
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+N = 256
+
+
+def _device(atomic_cursor: bool) -> GPUDevice:
+    return GPUDevice(
+        GTX480,
+        config=GPUDeviceConfig(
+            interpreter=InterpreterOptions(atomic_arena_cursor=atomic_cursor)
+        ),
+    )
+
+
+def _run(device):
+    return device.submit(f"(||| {N} fib ({' '.join(['5'] * N)}))")
+
+
+@pytest.mark.parametrize("atomic", [False, True], ids=["partitioned", "shared-atomic"])
+def test_allocation_policy(benchmark, atomic):
+    device = _device(atomic)
+    device.engine  # built
+    device.interp.arena.contention_width = 32 if atomic else 1
+    device.submit(FIB)
+    stats = benchmark.pedantic(lambda: _run(device), rounds=3, iterations=1)
+    record_point(
+        benchmark,
+        atomic_cursor=atomic,
+        simulated_eval_ms=stats.times.eval_ms,
+        simulated_worker_ms=stats.times.worker_ms,
+    )
+    device.close()
+
+
+def test_shared_cursor_inflates_worker_time(benchmark):
+    def measure():
+        out = {}
+        for atomic in (False, True):
+            device = _device(atomic)
+            device.interp.arena.contention_width = 32 if atomic else 1
+            device.submit(FIB)
+            out[atomic] = _run(device).times.worker_ms
+            device.close()
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    inflation = results[True] / results[False]
+    record_point(benchmark, worker_time_inflation=inflation)
+    # 66 allocations per fib(5) worker, each paying ~16 serialized slots.
+    assert inflation > 1.5

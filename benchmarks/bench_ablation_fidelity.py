@@ -1,0 +1,52 @@
+"""Ablation A3 — warp-representative vs full-fidelity simulation.
+
+WARP fidelity must agree with FULL on simulated times (uniform
+workloads are lockstep-identical) while being dramatically cheaper in
+simulator wall time — this is what makes the 4096-thread sweeps cheap.
+"""
+
+import pytest
+
+from repro.gpu.device import GPUDevice, GPUDeviceConfig
+from repro.gpu.specs import GTX480
+from repro.runtime.fidelity import Fidelity
+
+from conftest import record_point
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+N = 1024
+COMMAND = f"(||| {N} fib ({' '.join(['5'] * N)}))"
+
+
+@pytest.mark.parametrize("fidelity", [Fidelity.WARP, Fidelity.FULL],
+                         ids=["warp", "full"])
+def test_fidelity_wall_time(benchmark, fidelity):
+    device = GPUDevice(GTX480, config=GPUDeviceConfig(fidelity=fidelity))
+    device.submit(FIB)
+    stats = benchmark.pedantic(lambda: device.submit(COMMAND), rounds=2, iterations=1)
+    record_point(
+        benchmark,
+        fidelity=fidelity.value,
+        simulated_eval_ms=stats.times.eval_ms,
+        simulated_worker_ms=stats.times.worker_ms,
+    )
+    device.close()
+
+
+def test_fidelities_agree_on_simulated_time(benchmark):
+    def measure():
+        out = {}
+        for fidelity in (Fidelity.WARP, Fidelity.FULL):
+            device = GPUDevice(GTX480, config=GPUDeviceConfig(fidelity=fidelity))
+            device.submit(FIB)
+            stats = device.submit(COMMAND)
+            out[fidelity.value] = (stats.times.eval_ms, stats.output)
+            device.close()
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    warp_ms, warp_out = results["warp"]
+    full_ms, full_out = results["full"]
+    record_point(benchmark, warp_eval_ms=warp_ms, full_eval_ms=full_ms)
+    assert warp_out == full_out
+    assert warp_ms == pytest.approx(full_ms, rel=0.02)

@@ -1,0 +1,66 @@
+"""Micro M1 — the L2 cache model itself.
+
+Verifies the model's qualitative behaviour (sequential scans nearly
+always hit; cyclic working sets between the Fermi and Kepler-consumer
+L2 sizes thrash the smaller cache — the paper's own explanation for the
+GTX 480 -> GTX 680 parsing regression) and measures the simulator's
+accesses-per-second.
+"""
+
+import pytest
+
+from repro.gpu.cache import SetAssociativeCache
+
+from conftest import record_point
+
+
+@pytest.mark.parametrize("size_kib", [512, 768, 2048], ids=lambda s: f"{s}KiB")
+def test_sequential_scan_throughput(benchmark, size_kib):
+    cache = SetAssociativeCache(size_kib)
+
+    def scan():
+        for addr in range(0, 8192):
+            cache.access(addr)
+        return cache.stats.hit_rate
+
+    hit_rate = benchmark(scan)
+    record_point(benchmark, size_kib=size_kib, hit_rate=hit_rate)
+    assert hit_rate > 0.95
+
+
+def test_working_set_thrashes_small_l2(benchmark):
+    """600 KiB cyclic working set: fits 768 KiB (Fermi), thrashes 512 KiB
+    (GTX 680)."""
+
+    def measure():
+        rates = {}
+        for kib in (768, 512):
+            cache = SetAssociativeCache(kib, line_bytes=128, assoc=16)
+            for _sweep in range(3):
+                for addr in range(0, 600 * 1024, 128):
+                    cache.access(addr)
+            rates[kib] = cache.stats.hit_rate
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_point(benchmark, fermi_hit_rate=rates[768], gtx680_hit_rate=rates[512])
+    assert rates[768] > 0.5
+    assert rates[512] < 0.1
+
+
+def test_random_access_worst_case(benchmark):
+    import random
+
+    rng = random.Random(42)
+    addresses = [rng.randrange(0, 64 << 20) for _ in range(4096)]
+
+    def scan():
+        # Fresh cache per round: a warm cache would absorb the re-scan.
+        cache = SetAssociativeCache(768)
+        for addr in addresses:
+            cache.access(addr)
+        return cache.stats.hit_rate
+
+    hit_rate = benchmark(scan)
+    record_point(benchmark, hit_rate=hit_rate)
+    assert hit_rate < 0.2  # 64 MiB random over 768 KiB cache

@@ -1,0 +1,65 @@
+"""E1 — busy-wait energy (paper §II-C).
+
+"it is rather energy-consuming and inefficient to have all threads
+actively waiting for the same memory area to change and while doing so,
+have all processors of the GPU waiting busily."
+
+The simulator tracks lane-idle cycles (workers spinning on their postbox
+flags while a round runs). This experiment shows the energy pathology:
+spin cycles dwarf useful work at small job counts because *every*
+resident worker spins, and CPU devices (condvar sleep) burn none.
+"""
+
+import pytest
+
+from repro.runtime.session import CuLiSession
+
+from conftest import record_point
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+
+
+@pytest.mark.parametrize("jobs", [1, 32, 512, 3800])
+def test_spin_cycles_on_gpu(benchmark, jobs):
+    # Note 3800 (not the full 3808 complement): with every lane busy on
+    # identical lockstep work there is nothing left to spin — idle-lane
+    # energy needs idle lanes.
+    session = CuLiSession("gtx480")
+    session.eval(FIB)
+    command = f"(||| {jobs} fib ({' '.join(['5'] * jobs)}))"
+    stats = benchmark.pedantic(lambda: session.submit(command), rounds=2, iterations=1)
+    session.close()
+    record_point(benchmark, jobs=jobs, spin_cycles=stats.times.spin_cycles)
+    assert stats.times.spin_cycles > 0
+
+
+def test_spin_waste_ratio_shrinks_with_occupancy(benchmark):
+    """Idle-spin per useful job falls as more of the grid gets work."""
+
+    def measure():
+        session = CuLiSession("gtx480")
+        session.eval(FIB)
+        ratios = {}
+        for jobs in (32, 3808):  # 3808 = full GTX 480 worker complement
+            command = f"(||| {jobs} fib ({' '.join(['5'] * jobs)}))"
+            stats = session.submit(command)
+            ratios[jobs] = stats.times.spin_cycles / jobs
+        session.close()
+        return ratios
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_point(benchmark, **{f"spin_per_job_{k}": v for k, v in ratios.items()})
+    assert ratios[3808] < ratios[32] / 10
+
+
+def test_cpu_burns_no_spin_energy(benchmark):
+    session = CuLiSession("amd-6272")
+    session.eval(FIB)
+    stats = benchmark.pedantic(
+        lambda: session.submit("(||| 64 fib (" + " ".join(["5"] * 64) + "))"),
+        rounds=2,
+        iterations=1,
+    )
+    session.close()
+    record_point(benchmark, spin_cycles=stats.times.spin_cycles)
+    assert stats.times.spin_cycles == 0.0

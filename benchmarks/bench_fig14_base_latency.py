@@ -1,0 +1,43 @@
+"""Fig. 14 — base latency for all devices.
+
+Paper: "the newer the GPU, the higher the base latency. The latency of
+the GTX 680 is about six times lower than the latency of the GTX1080 or
+the Tesla M40. ... [CPUs] are more than thirty times faster than the
+fastest GPU."
+
+Each benchmark measures the simulator's startup wall time; the simulated
+base latency (the paper's quantity) is recorded in ``extra_info`` and
+checked against the claims.
+"""
+
+import pytest
+
+from repro.bench.claims import claim_c1, claim_c2, claim_c3
+from repro.bench.figures import fig14
+from repro.bench.harness import PAPER_DEVICE_ORDER
+from repro.runtime.devices import device_for
+
+from conftest import record_point
+
+
+@pytest.mark.parametrize("device_name", PAPER_DEVICE_ORDER)
+def test_base_latency(benchmark, device_name):
+    def startup_and_stop():
+        device = device_for(device_name)
+        latency = device.base_latency_ms
+        device.close()
+        return latency
+
+    simulated_ms = benchmark.pedantic(startup_and_stop, rounds=3, iterations=1)
+    record_point(benchmark, device=device_name, simulated_base_latency_ms=simulated_ms)
+    assert simulated_ms > 0
+
+
+def test_fig14_figure_and_claims(benchmark, paper_base, capsys):
+    result = benchmark.pedantic(lambda: fig14(paper_base), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+    for claim in (claim_c1(paper_base, None), claim_c2(paper_base, None),
+                  claim_c3(paper_base, None)):
+        assert claim.passed, f"{claim.claim_id}: {claim.detail}"
+    record_point(benchmark, base_latency_ms=dict(paper_base))

@@ -1,0 +1,58 @@
+"""Fig. 15 — runtime for all devices, 1..4096 threads (log scale).
+
+Paper: "The GPUs were clearly outperformed by the CPUs by a factor of at
+least ten. ... All devices show a plateau for 1 to 64 elements. For
+longer vectors there is a linear growth in runtime. ... the GTX480 is
+the fastest GPU followed [by the] GTX1080."
+"""
+
+import pytest
+
+from repro.bench.claims import claim_c4, claim_c5, claim_c6, claim_c10
+from repro.bench.figures import fig15
+from repro.bench.harness import PAPER_DEVICE_ORDER
+from repro.runtime.session import CuLiSession
+from repro.runtime.workloads import fibonacci_workload
+
+from conftest import record_point
+
+#: Representative slice of the sweep for per-point wall benchmarks (the
+#: full 13-point grid lives in the shared ``paper_sweep`` fixture).
+BENCH_POINTS = (1, 64, 4096)
+
+
+@pytest.mark.parametrize("device_name", PAPER_DEVICE_ORDER)
+@pytest.mark.parametrize("threads", BENCH_POINTS)
+def test_runtime_point(benchmark, device_name, threads):
+    session = CuLiSession(device_name)
+    workload = fibonacci_workload(threads)
+    for form in workload.preamble:
+        session.eval(form)
+
+    def run_command():
+        return session.submit(workload.command)
+
+    stats = benchmark.pedantic(run_command, rounds=3, iterations=1)
+    session.close()
+    record_point(
+        benchmark,
+        device=device_name,
+        threads=threads,
+        simulated_total_ms=stats.times.total_ms,
+        simulated_kernel_ms=stats.times.kernel_ms,
+        input_chars=stats.input_chars,
+    )
+    assert stats.output.count("5") == threads
+
+
+def test_fig15_figure_and_claims(benchmark, paper_sweep, capsys):
+    result = benchmark.pedantic(lambda: fig15(paper_sweep), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+    for claim in (
+        claim_c4(None, paper_sweep),
+        claim_c5(None, paper_sweep),
+        claim_c6(None, paper_sweep),
+        claim_c10(None, paper_sweep),
+    ):
+        assert claim.passed, f"{claim.claim_id}: {claim.detail}"

@@ -1,0 +1,52 @@
+"""Fig. 16a-d — execution / parsing / evaluation / printing times.
+
+Paper: "Parsing on Fermi based GPUs outperforms the newer GPUs. ... the
+evaluation of the other operations and printing show a clear trend that
+here the performance of GPUs draws nearer to the one of CPUs. ...
+Especially the trend of the evaluation phase shows that the newer the
+GPU, the lower the computation time."
+"""
+
+import pytest
+
+from repro.bench.claims import claim_c8, claim_c11
+from repro.bench.figures import fig16
+from repro.bench.harness import PAPER_DEVICE_ORDER
+from repro.runtime.session import CuLiSession
+from repro.runtime.workloads import fibonacci_workload
+
+from conftest import record_point
+
+
+@pytest.mark.parametrize("device_name", PAPER_DEVICE_ORDER)
+def test_phase_breakdown_at_4096(benchmark, device_name):
+    session = CuLiSession(device_name)
+    workload = fibonacci_workload(4096)
+    for form in workload.preamble:
+        session.eval(form)
+
+    stats = benchmark.pedantic(
+        lambda: session.submit(workload.command), rounds=3, iterations=1
+    )
+    session.close()
+    times = stats.times
+    record_point(
+        benchmark,
+        device=device_name,
+        parse_ms=times.parse_ms,
+        eval_ms=times.eval_ms,
+        print_ms=times.print_ms,
+        kernel_ms=times.kernel_ms,
+        distribute_ms=times.distribute_ms,
+        worker_ms=times.worker_ms,
+        collect_ms=times.collect_ms,
+    )
+    assert times.parse_ms > 0 and times.eval_ms > 0 and times.print_ms > 0
+
+
+def test_fig16_figure_and_claims(benchmark, paper_sweep, capsys):
+    result = benchmark.pedantic(lambda: fig16(paper_sweep), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+    for claim in (claim_c8(None, paper_sweep), claim_c11(None, paper_sweep)):
+        assert claim.passed, f"{claim.claim_id}: {claim.detail}"

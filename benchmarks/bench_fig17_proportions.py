@@ -1,0 +1,35 @@
+"""Fig. 17 — proportional kernel runtimes on GPUs.
+
+Paper: "While parsing can require more than 50% of the runtime in GPUs
+newer than Fermi, the parsing on older GPUs never exceeds 11%."
+"""
+
+import pytest
+
+from repro.bench.claims import claim_c7, claim_c8
+from repro.bench.figures import fig17
+
+from conftest import record_point
+
+PROPORTION_DEVICES = ("tesla-m40", "gtx1080", "tesla-c2075", "gtx480")
+
+
+@pytest.mark.parametrize("device_name", PROPORTION_DEVICES)
+def test_proportions_at_4096(benchmark, paper_sweep, device_name):
+    def proportions():
+        point = [p for p in paper_sweep[device_name] if p.threads == 4096][0]
+        return point.stats.times.proportions()
+
+    shares = benchmark.pedantic(proportions, rounds=1, iterations=1)
+    record_point(benchmark, device=device_name, **{f"{k}_share": v for k, v in shares.items()})
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+def test_fig17_figure_and_claims(benchmark, paper_sweep, capsys):
+    result = benchmark.pedantic(
+        lambda: fig17(paper_sweep, devices=PROPORTION_DEVICES), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+    for claim in (claim_c7(None, paper_sweep), claim_c8(None, paper_sweep)):
+        assert claim.passed, f"{claim.claim_id}: {claim.detail}"

@@ -1,0 +1,29 @@
+"""Fig. 18 — proportional kernel runtime on the AMD Opteron 6272.
+
+Paper: "On the system using the AMD CPU, parsing and printing is almost
+negligible. Here the runtime is also dominated by the evaluation phase."
+"""
+
+from repro.bench.claims import claim_c9
+from repro.bench.figures import fig18
+
+from conftest import record_point
+
+
+def test_amd_eval_dominates(benchmark, paper_sweep):
+    def proportions():
+        point = [p for p in paper_sweep["amd-6272"] if p.threads == 4096][0]
+        return point.stats.times.proportions()
+
+    shares = benchmark.pedantic(proportions, rounds=1, iterations=1)
+    record_point(benchmark, **{f"{k}_share": v for k, v in shares.items()})
+    assert shares["eval"] > 0.5
+    assert shares["parse"] + shares["print"] < 0.20
+
+
+def test_fig18_figure_and_claims(benchmark, paper_sweep, capsys):
+    result = benchmark.pedantic(lambda: fig18(paper_sweep), rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.render())
+    claim = claim_c9(None, paper_sweep)
+    assert claim.passed, claim.detail

@@ -1,0 +1,79 @@
+"""F1 — the paper's future-work projection, quantified.
+
+Paper conclusion: "Our tests show that CuLi profits from new hardware
+generations. If the trend continues, the performance gap between CPU and
+GPU will become smaller with every new GPU generation." and: Volta's
+"new threading model" plus "configurable cache ... can help to reduce
+the parsing penalties."
+
+This experiment extends the Fig. 15/17 sweep one generation: a projected
+Tesla V100 with independent thread scheduling and cache-assisted
+parsing. Not a paper figure — an extrapolation of its trend lines.
+"""
+
+import pytest
+
+from repro.runtime.session import CuLiSession
+from repro.runtime.workloads import fibonacci_workload
+
+from conftest import record_point
+
+TREND_DEVICES = ("gtx480", "gtx680", "gtx1080", "tesla-v100", "intel-e5-2620")
+
+
+@pytest.mark.parametrize("device", TREND_DEVICES)
+def test_trend_point(benchmark, device):
+    session = CuLiSession(device)
+    workload = fibonacci_workload(4096)
+    for form in workload.preamble:
+        session.eval(form)
+    stats = benchmark.pedantic(
+        lambda: session.submit(workload.command), rounds=2, iterations=1
+    )
+    session.close()
+    record_point(
+        benchmark,
+        device=device,
+        simulated_total_ms=stats.times.total_ms,
+        parse_share=stats.times.proportions()["parse"],
+    )
+
+
+def test_gap_narrows_generation_by_generation(benchmark, capsys):
+    def measure():
+        workload = fibonacci_workload(4096)
+        totals = {}
+        for device in TREND_DEVICES:
+            with CuLiSession(device) as sess:
+                for form in workload.preamble:
+                    sess.eval(form)
+                totals[device] = sess.submit(workload.command).times.total_ms
+        return totals
+
+    totals = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cpu = totals["intel-e5-2620"]
+    gaps = {d: totals[d] / cpu for d in TREND_DEVICES if d != "intel-e5-2620"}
+    with capsys.disabled():
+        print("\nCPU-advantage by GeForce/projected generation (lower = closer):")
+        for device, gap in gaps.items():
+            print(f"  {device:12s} {gap:6.1f}x")
+    record_point(benchmark, **{f"gap_{d}": g for d, g in gaps.items()})
+    # Kepler -> Pascal -> Volta narrows monotonically; Volta breaks the
+    # paper's >=10x rule.
+    assert gaps["gtx680"] > gaps["gtx1080"] > gaps["tesla-v100"]
+    assert gaps["tesla-v100"] < 10.0
+
+
+def test_volta_parse_share_drops_below_half(benchmark):
+    session = CuLiSession("tesla-v100")
+    workload = fibonacci_workload(4096)
+    for form in workload.preamble:
+        session.eval(form)
+    stats = benchmark.pedantic(
+        lambda: session.submit(workload.command), rounds=1, iterations=1
+    )
+    session.close()
+    share = stats.times.proportions()["parse"]
+    record_point(benchmark, parse_share=share)
+    # The configurable cache tames the Fig. 17a pathology.
+    assert share < 0.5

@@ -1,0 +1,64 @@
+"""Micro M2 — throughput of the interpreter itself (simulator wall time).
+
+These benchmarks track the host cost of simulating CuLi: recursive
+evaluation, list manipulation, parsing, and a full REPL command on each
+device class. Regressions here make the figure sweeps slow.
+"""
+
+import pytest
+
+from repro.context import CountingContext, NullContext
+from repro.core.interpreter import Interpreter
+from repro.runtime.session import CuLiSession
+
+from conftest import record_point
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+
+
+def test_recursive_eval_uncharged(benchmark):
+    interp = Interpreter()
+    ctx = NullContext()
+    interp.process(FIB, ctx)
+    result = benchmark(lambda: interp.process("(fib 12)", ctx))
+    assert result == "144"
+
+
+def test_recursive_eval_charged(benchmark):
+    interp = Interpreter()
+    ctx = CountingContext()
+    interp.process(FIB, ctx)
+    result = benchmark(lambda: interp.process("(fib 12)", ctx))
+    assert result == "144"
+
+
+def test_list_churn(benchmark):
+    interp = Interpreter()
+    ctx = NullContext()
+    interp.process("(setq data (list 1 2 3 4 5 6 7 8))", ctx)
+    program = "(length (append (reverse data) data (cdr data)))"
+    result = benchmark(lambda: interp.process(program, ctx))
+    assert result == "23"
+    benchmark.extra_info["gc_used"] = interp.arena.used
+
+
+def test_parse_8kb_input(benchmark):
+    interp = Interpreter()
+    source = "(+ " + " ".join(["5"] * 4096) + ")"
+
+    def parse_and_collect():
+        out = interp.process(source, NullContext())
+        interp.collect_garbage()
+        return out
+
+    assert benchmark(parse_and_collect) == str(5 * 4096)
+
+
+@pytest.mark.parametrize("device", ["gtx1080", "amd-6272"])
+def test_full_device_command(benchmark, device):
+    session = CuLiSession(device)
+    session.eval(FIB)
+    command = "(||| 256 fib (" + " ".join(["5"] * 256) + "))"
+    stats = benchmark(lambda: session.submit(command))
+    record_point(benchmark, device=device, simulated_ms=stats.times.total_ms)
+    session.close()

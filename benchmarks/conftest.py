@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+The full paper sweep (8 devices x 13 thread counts) is computed once per
+session and shared across the figure benchmarks; individual benchmarks
+measure the *simulator's* wall time while recording the *simulated*
+device times in ``extra_info`` (those are the paper's numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_base_latencies, run_sweep
+
+
+@pytest.fixture(scope="session")
+def paper_base():
+    return run_base_latencies()
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    return run_sweep()
+
+
+def record_point(benchmark, **info) -> None:
+    """Attach simulated measurements to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Tour the whole simulated fleet (mini Fig. 14 + Fig. 16).
+
+Boots each of the paper's eight devices, reports base latency, then runs
+one 512-thread Fibonacci command and prints the kernel-phase split.
+
+Run with::
+
+    python examples/device_comparison.py
+"""
+
+from repro import CuLiSession, fibonacci_workload
+from repro.bench.harness import PAPER_DEVICE_ORDER
+
+
+def main() -> None:
+    workload = fibonacci_workload(512)
+    print(
+        f"{'device':16s} {'base ms':>9s} {'total ms':>10s} "
+        f"{'parse':>8s} {'eval':>8s} {'print':>8s}"
+    )
+    for device in PAPER_DEVICE_ORDER:
+        with CuLiSession(device) as sess:
+            for form in workload.preamble:
+                sess.eval(form)
+            stats = sess.submit(workload.command)
+            t = stats.times
+            print(
+                f"{device:16s} {sess.base_latency_ms:>9.4f} {t.total_ms:>10.4f} "
+                f"{t.parse_ms:>8.4f} {t.eval_ms:>8.4f} {t.print_ms:>8.4f}"
+            )
+    print()
+    print("paper shapes to spot: CPUs start >30x faster and run >10x faster;")
+    print("Fermi (C2075/GTX480) parses fast; newest GPUs pay the largest startup.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The paper's evaluation workload, end to end (mini Fig. 15/17).
+
+"In our test all threads compute the 5th Fibonacci number recursively."
+
+Sweeps (||| n fib (5 ... 5)) over thread counts on a GPU and a CPU,
+printing runtime and the parse/eval/print split — the shapes of
+Figs. 15 and 17 at a glance. For the full eight-device figures use
+``python -m repro.bench all``.
+
+Run with::
+
+    python examples/fibonacci_sweep.py [gpu-device] [cpu-device]
+"""
+
+import sys
+
+from repro import CuLiSession, fibonacci_workload
+
+COUNTS = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+def sweep(device: str) -> None:
+    print(f"--- {device} ---")
+    print(f"{'threads':>8s} {'chars':>6s} {'total ms':>10s} "
+          f"{'parse%':>7s} {'eval%':>7s} {'print%':>7s} {'rounds':>7s}")
+    with CuLiSession(device) as sess:
+        sess.eval(fibonacci_workload(1).preamble[0])
+        for n in COUNTS:
+            workload = fibonacci_workload(n)
+            stats = sess.submit(workload.command)
+            shares = stats.times.proportions()
+            print(
+                f"{n:>8d} {stats.input_chars:>6d} {stats.times.total_ms:>10.4f} "
+                f"{shares['parse'] * 100:>6.1f}% {shares['eval'] * 100:>6.1f}% "
+                f"{shares['print'] * 100:>6.1f}% {stats.rounds:>7d}"
+            )
+    print()
+
+
+def main() -> None:
+    gpu = sys.argv[1] if len(sys.argv) > 1 else "gtx1080"
+    cpu = sys.argv[2] if len(sys.argv) > 2 else "amd-6272"
+    sweep(gpu)
+    sweep(cpu)
+    print("note the paper's shapes: plateau to ~64 threads then linear growth;")
+    print("parse dominates newer GPUs while eval dominates the CPUs.")
+
+
+if __name__ == "__main__":
+    main()

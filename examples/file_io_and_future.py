@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's two future-work items, running: device file I/O over the
+host message buffer (§III-D) and the Volta "new threading model"
+projection (Conclusion).
+
+Run with::
+
+    python examples/file_io_and_future.py
+"""
+
+from repro import CuLiSession, fibonacci_workload
+from repro.core.prelude import install_prelude
+
+
+def file_io_demo() -> None:
+    print("== device-side file I/O (host message-buffer protocol) ==")
+    with CuLiSession("gtx1080") as sess:
+        # The host preloads a program file into the virtual filesystem...
+        sess.device.filesystem.write(
+            "stats.lisp",
+            """
+            ; compute summary statistics for a data file
+            (defun summarize (l)
+              (list 'n (length l) 'sum (sum l) 'mean (mean l)))
+            'stats-ready
+            """,
+        )
+        install_prelude(sess)                 # sum/mean live in the prelude
+        print("(load stats.lisp)  =>", sess.eval('(load "stats.lisp")'))
+
+        # ...the device writes results back through the same buffer.
+        sess.eval("(setq data (list 4 8 15 16 23 42))")
+        print("(summarize data)   =>", sess.eval("(summarize data)"))
+        sess.eval('(write-file "report" (number-to-string (mean data)))')
+        print("host sees report   =>", repr(sess.device.filesystem.read("report")))
+
+        stats = sess.submit('(read-file "stats.lisp")')
+        print(
+            f"file round trips appear as PCIe traffic: "
+            f"{stats.times.transfer_ms:.4f} ms transfer on that command"
+        )
+
+
+def future_trend_demo() -> None:
+    print("\n== the Conclusion's trend, one generation further ==")
+    workload = fibonacci_workload(2048)
+    results = {}
+    for device in ("gtx680", "gtx1080", "tesla-v100", "intel-e5-2620"):
+        with CuLiSession(device) as sess:
+            for form in workload.preamble:
+                sess.eval(form)
+            stats = sess.submit(workload.command)
+            results[device] = stats.times
+    cpu_ms = results["intel-e5-2620"].total_ms
+    print(f"{'device':16s} {'total ms':>9s} {'vs CPU':>8s} {'parse share':>12s}")
+    for device, t in results.items():
+        share = t.proportions()["parse"] * 100
+        print(f"{device:16s} {t.total_ms:>9.3f} {t.total_ms / cpu_ms:>7.1f}x {share:>11.1f}%")
+    print(
+        "\nthe projected V100 (independent thread scheduling + cache-assisted\n"
+        "parsing) narrows the CPU gap below the paper's 10x and tames the\n"
+        "parse share — the paper's closing prediction, quantified."
+    )
+
+
+if __name__ == "__main__":
+    file_io_demo()
+    future_trend_demo()

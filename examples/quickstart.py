@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: an interactive CuLi session on a simulated GTX 1080.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the whole public surface in two minutes: opening a session,
+defining functions, the ``|||`` parallel form, timed evaluation, and the
+phase breakdown the paper reports (parse / eval / print).
+"""
+
+from repro import CuLiSession
+
+
+def main() -> None:
+    with CuLiSession("gtx1080") as sess:
+        print(f"device: {sess.device_name}")
+        print(f"base latency (startup + graceful stop): {sess.base_latency_ms:.4f} ms")
+        print()
+
+        # Plain Lisp — the paper's own example expression.
+        print("(* 2 (+ 4 3) 6)  =>", sess.eval("(* 2 (+ 4 3) 6)"))
+
+        # The environment persists across commands (interactive REPL).
+        sess.eval("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+        print("(fib 10)         =>", sess.eval("(fib 10)"))
+
+        # Lists, the heart of Lisp.
+        print("(cdr (list 1 2 3)) =>", sess.eval("(cdr (list 1 2 3))"))
+        print("(append '(a b) '(c)) =>", sess.eval("(append '(a b) '(c))"))
+
+        # Macros.
+        sess.eval("(defmacro twice (e) (list 'progn e e))")
+        sess.eval("(setq hits 0)")
+        sess.eval("(twice (setq hits (+ hits 1)))")
+        print("macro side-effects =>", sess.eval("hits"), "(expected 2)")
+
+        # The paper's parallel form: worker i computes (fib arg_i).
+        out, times = sess.eval_timed("(||| 8 fib (1 2 3 4 5 6 7 8))")
+        print()
+        print("(||| 8 fib (1..8)) =>", out)
+        print(
+            f"kernel phases: parse {times.parse_ms:.4f} ms | "
+            f"eval {times.eval_ms:.4f} ms (distribute {times.distribute_ms:.4f}, "
+            f"workers {times.worker_ms:.4f}, collect {times.collect_ms:.4f}) | "
+            f"print {times.print_ms:.4f} ms"
+        )
+        print(
+            f"overheads: handshake {times.other_ms:.4f} ms, "
+            f"PCIe {times.transfer_ms:.4f} ms  ->  total {times.total_ms:.4f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

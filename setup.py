@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+This offline environment cannot build PEP 660 editable wheels, so
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path
+through this file. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation
+(Figs. 14-18) and checks the paper's qualitative claims against the
+simulated measurements.
+
+Entry points:
+
+* ``python -m repro.bench all`` — every figure as an ASCII table + claims
+* :func:`repro.bench.harness.run_sweep` — the Fig. 15/16/17/18 data grid
+* :mod:`repro.bench.figures` — one function per figure
+* :mod:`repro.bench.claims` — the machine-checked claim list (C1..C11)
+"""
+
+from .harness import PAPER_DEVICE_ORDER, SweepPoint, run_base_latencies, run_sweep
+from .claims import CLAIM_IDS, ClaimResult, check_all_claims
+from .figures import fig14, fig15, fig16, fig17, fig18, FigureResult
+
+__all__ = [
+    "run_sweep",
+    "run_base_latencies",
+    "SweepPoint",
+    "PAPER_DEVICE_ORDER",
+    "ClaimResult",
+    "CLAIM_IDS",
+    "check_all_claims",
+    "FigureResult",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+]

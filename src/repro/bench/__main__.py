@@ -1,0 +1,94 @@
+"""CLI: regenerate the paper's figures as ASCII tables.
+
+Usage::
+
+    python -m repro.bench all
+    python -m repro.bench fig15 --threads 1 16 256 4096
+    python -m repro.bench fig17 --full-fidelity
+    python -m repro.bench claims
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..runtime.fidelity import Fidelity
+from ..runtime.workloads import THREAD_SWEEP
+from .claims import check_all_claims
+from .figures import fig14, fig15, fig16, fig17, fig18
+from .harness import PAPER_DEVICE_ORDER, run_base_latencies, run_sweep
+
+_FIGS = ("fig14", "fig15", "fig16", "fig17", "fig18")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the CuLi paper's evaluation figures (simulated).",
+    )
+    parser.add_argument(
+        "what",
+        choices=(*_FIGS, "claims", "all"),
+        help="which figure (or the claim list) to regenerate",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=list(THREAD_SWEEP),
+        help="thread counts for the sweep (default: the paper's 1..4096)",
+    )
+    parser.add_argument(
+        "--devices",
+        nargs="+",
+        default=list(PAPER_DEVICE_ORDER),
+        help="devices to include (default: all eight)",
+    )
+    parser.add_argument(
+        "--full-fidelity",
+        action="store_true",
+        help="simulate every worker thread individually (slower, identical results)",
+    )
+    args = parser.parse_args(argv)
+
+    fidelity = Fidelity.FULL if args.full_fidelity else Fidelity.WARP
+    need_sweep = args.what in ("fig15", "fig16", "fig17", "fig18", "claims", "all")
+    need_base = args.what in ("fig14", "claims", "all")
+
+    base = run_base_latencies(args.devices) if need_base else None
+    sweep = (
+        run_sweep(args.devices, thread_counts=args.threads, fidelity=fidelity)
+        if need_sweep
+        else None
+    )
+
+    sections: list[str] = []
+    if args.what in ("fig14", "all"):
+        sections.append(fig14(base).render())
+    if args.what in ("fig15", "all"):
+        sections.append(fig15(sweep).render())
+    if args.what in ("fig16", "all"):
+        sections.append(fig16(sweep).render())
+    if args.what in ("fig17", "all"):
+        sections.append(fig17(sweep).render())
+    if args.what in ("fig18", "all") and "amd-6272" in (sweep or {}):
+        sections.append(fig18(sweep).render())
+    if args.what in ("claims", "all"):
+        results = check_all_claims(base=base, sweep=sweep)
+        lines = ["== Paper claims =="]
+        for claim in results:
+            status = "PASS" if claim.passed else "FAIL"
+            lines.append(f"  [{status}] {claim.claim_id}: {claim.description}")
+            lines.append(f"         {claim.detail}")
+        sections.append("\n".join(lines))
+
+    print("\n\n".join(sections))
+    if args.what in ("claims", "all"):
+        results = check_all_claims(base=base, sweep=sweep)
+        return 0 if all(c.passed for c in results) else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""The paper's qualitative claims, machine-checked (C1..C11).
+
+Each claim takes the measurement data (Fig. 14 base latencies and/or the
+Fig. 15-18 sweep) and returns a :class:`ClaimResult`. These run inside
+the test suite and the benchmark harness; EXPERIMENTS.md records the
+paper-vs-measured outcome for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .harness import CPU_NAMES, GPU_NAMES, SweepPoint
+
+__all__ = ["ClaimResult", "CLAIM_IDS", "check_all_claims"]
+
+Sweep = dict[str, list[SweepPoint]]
+BaseLatencies = dict[str, float]
+
+_GENERATION_ORDER = {
+    "tesla-c2075": 0, "gtx480": 0,     # Fermi
+    "tesla-k20": 1, "gtx680": 1,       # Kepler
+    "tesla-m40": 2,                    # Maxwell
+    "gtx1080": 3,                      # Pascal
+}
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str
+
+
+def _point(sweep: Sweep, device: str, threads: int) -> SweepPoint:
+    for p in sweep[device]:
+        if p.threads == threads:
+            return p
+    raise KeyError(f"no sweep point for {device} at {threads} threads")
+
+
+def _max_threads(sweep: Sweep) -> int:
+    return max(p.threads for pts in sweep.values() for p in pts)
+
+
+# ---------------------------------------------------------------------------
+# Claims on Fig. 14 (base latency)
+# ---------------------------------------------------------------------------
+
+
+def claim_c1(base: BaseLatencies, sweep: Optional[Sweep]) -> ClaimResult:
+    """Within each product line, newer GPUs have higher base latency."""
+    teslas = ["tesla-c2075", "tesla-k20", "tesla-m40"]
+    geforces = ["gtx480", "gtx680", "gtx1080"]
+    ok = all(base[a] < base[b] for line in (teslas, geforces)
+             for a, b in zip(line, line[1:]))
+    detail = ", ".join(f"{d}={base[d]:.4f}ms" for d in teslas + geforces)
+    return ClaimResult("C1", "newer GPU => higher base latency (per line)", ok, detail)
+
+
+def claim_c2(base: BaseLatencies, sweep: Optional[Sweep]) -> ClaimResult:
+    """GTX 680 base latency ~6x lower than GTX 1080 and Tesla M40."""
+    r1080 = base["gtx1080"] / base["gtx680"]
+    rm40 = base["tesla-m40"] / base["gtx680"]
+    ok = 4.0 <= r1080 <= 8.0 and 4.0 <= rm40 <= 8.0
+    return ClaimResult(
+        "C2",
+        "GTX680 starts ~6x faster than GTX1080 / Tesla M40 (4-8x accepted)",
+        ok,
+        f"1080/680={r1080:.1f}x, M40/680={rm40:.1f}x",
+    )
+
+
+def claim_c3(base: BaseLatencies, sweep: Optional[Sweep]) -> ClaimResult:
+    """Both CPUs start >30x faster than the fastest GPU."""
+    fastest_gpu = min(base[d] for d in GPU_NAMES)
+    ratios = {d: fastest_gpu / base[d] for d in CPU_NAMES}
+    ok = all(r > 30.0 for r in ratios.values())
+    detail = ", ".join(f"{d}: {r:.0f}x" for d, r in ratios.items())
+    return ClaimResult("C3", "CPUs >30x faster base latency than fastest GPU", ok, detail)
+
+
+# ---------------------------------------------------------------------------
+# Claims on Fig. 15 (runtime)
+# ---------------------------------------------------------------------------
+
+
+def claim_c4(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """CPUs outperform every GPU by >=10x at every thread count."""
+    worst = None
+    for cpu in CPU_NAMES:
+        for cpu_pt in sweep[cpu]:
+            for gpu in GPU_NAMES:
+                gpu_pt = _point(sweep, gpu, cpu_pt.threads)
+                ratio = gpu_pt.total_ms / cpu_pt.total_ms
+                if worst is None or ratio < worst[0]:
+                    worst = (ratio, gpu, cpu, cpu_pt.threads)
+    assert worst is not None
+    ok = worst[0] >= 10.0
+    return ClaimResult(
+        "C4",
+        "CPUs >=10x faster total runtime at every thread count",
+        ok,
+        f"worst ratio {worst[0]:.1f}x ({worst[1]} vs {worst[2]} @ {worst[3]} threads)",
+    )
+
+
+def claim_c5(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """Plateau for 1..64 threads, then ~linear growth (all devices)."""
+    failures = []
+    for device, points in sweep.items():
+        by_n = {p.threads: p.total_ms for p in points}
+        if not {1, 64}.issubset(by_n) or max(by_n) < 512:
+            continue
+        plateau_growth = by_n[64] / by_n[1]
+        tail_growth = by_n[max(by_n)] / by_n[64]
+        # The plateau's growth must be small next to the linear tail.
+        if not (plateau_growth < 6.0 and tail_growth > 2.5 * plateau_growth):
+            failures.append(
+                f"{device}: 1->64 x{plateau_growth:.1f}, 64->max x{tail_growth:.1f}"
+            )
+    ok = not failures
+    return ClaimResult(
+        "C5",
+        "runtime plateaus for 1-64 threads, then grows ~linearly",
+        ok,
+        "; ".join(failures) if failures else "all devices plateau then grow",
+    )
+
+
+def claim_c6(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """GTX 480 is the fastest GPU at 4096 threads; GTX 1080 second."""
+    n = _max_threads(sweep)
+    totals = {d: _point(sweep, d, n).total_ms for d in GPU_NAMES}
+    ranked = sorted(totals, key=totals.get)  # type: ignore[arg-type]
+    ok = ranked[0] == "gtx480" and ranked[1] == "gtx1080"
+    detail = " < ".join(f"{d}({totals[d]:.1f}ms)" for d in ranked)
+    return ClaimResult("C6", "GTX480 fastest GPU, GTX1080 second (at max threads)", ok, detail)
+
+
+# ---------------------------------------------------------------------------
+# Claims on Figs. 16-18 (kernel proportions and phase trends)
+# ---------------------------------------------------------------------------
+
+
+def claim_c7(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """Parse share >50% on Tesla M40 and GTX 1080 at max threads."""
+    n = _max_threads(sweep)
+    shares = {
+        d: _point(sweep, d, n).stats.times.proportions()["parse"]
+        for d in ("tesla-m40", "gtx1080")
+    }
+    ok = all(s > 0.5 for s in shares.values())
+    detail = ", ".join(f"{d}: {s * 100:.0f}%" for d, s in shares.items())
+    return ClaimResult("C7", "parse >50% of kernel time on M40 and GTX1080", ok, detail)
+
+
+def claim_c8(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """Parse share <=11% on Fermi GPUs at every thread count."""
+    failures = []
+    for device in ("tesla-c2075", "gtx480"):
+        for p in sweep[device]:
+            share = p.stats.times.proportions()["parse"]
+            if share > 0.11:
+                failures.append(f"{device}@{p.threads}: {share * 100:.1f}%")
+    ok = not failures
+    return ClaimResult(
+        "C8",
+        "parse <=11% of kernel time on Fermi GPUs (all thread counts)",
+        ok,
+        "; ".join(failures) if failures else "all Fermi points <=11%",
+    )
+
+
+def claim_c9(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """AMD 6272: eval dominates; parse+print almost negligible (<20%)."""
+    n = _max_threads(sweep)
+    pr = _point(sweep, "amd-6272", n).stats.times.proportions()
+    ok = pr["eval"] > 0.5 and (pr["parse"] + pr["print"]) < 0.20
+    detail = (
+        f"parse={pr['parse'] * 100:.0f}%, eval={pr['eval'] * 100:.0f}%, "
+        f"print={pr['print'] * 100:.0f}%"
+    )
+    return ClaimResult("C9", "AMD 6272 kernel time dominated by eval", ok, detail)
+
+
+def claim_c10(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """Input strings span ~17..8207 characters across the sweep."""
+    sizes = sorted(
+        {p.stats.input_chars for pts in sweep.values() for p in pts}
+    )
+    ok = bool(sizes) and sizes[0] <= 20 and 8000 <= sizes[-1] <= 8400
+    return ClaimResult(
+        "C10",
+        "input sizes 17..8207 chars (paper §IV)",
+        ok,
+        f"measured {sizes[0]}..{sizes[-1]} chars",
+    )
+
+
+def claim_c11(base: Optional[BaseLatencies], sweep: Sweep) -> ClaimResult:
+    """Eval time decreases with GPU generation (Fermi->Kepler->Maxwell->Pascal)."""
+    n = _max_threads(sweep)
+    teslas = ["tesla-c2075", "tesla-k20", "tesla-m40", "gtx1080"]
+    geforces = ["gtx480", "gtx680", "gtx1080"]
+    failures = []
+    for line in (teslas, geforces):
+        evals = [_point(sweep, d, n).stats.times.eval_ms for d in line]
+        if not all(a > b for a, b in zip(evals, evals[1:])):
+            failures.append(" > ".join(f"{d}={e:.2f}" for d, e in zip(line, evals)))
+    ok = not failures
+    detail = "; ".join(failures) if failures else "monotone within both product lines"
+    return ClaimResult("C11", "eval time falls with every GPU generation", ok, detail)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BASE_CLAIMS: dict[str, Callable] = {
+    "C1": claim_c1,
+    "C2": claim_c2,
+    "C3": claim_c3,
+}
+
+_SWEEP_CLAIMS: dict[str, Callable] = {
+    "C4": claim_c4,
+    "C5": claim_c5,
+    "C6": claim_c6,
+    "C7": claim_c7,
+    "C8": claim_c8,
+    "C9": claim_c9,
+    "C10": claim_c10,
+    "C11": claim_c11,
+}
+
+CLAIM_IDS: tuple[str, ...] = (*_BASE_CLAIMS, *_SWEEP_CLAIMS)
+
+
+def check_all_claims(
+    base: Optional[BaseLatencies] = None, sweep: Optional[Sweep] = None
+) -> list[ClaimResult]:
+    """Evaluate every claim whose required data is available."""
+    results: list[ClaimResult] = []
+    if base is not None:
+        for fn in _BASE_CLAIMS.values():
+            results.append(fn(base, sweep))
+    if sweep is not None:
+        for fn in _SWEEP_CLAIMS.values():
+            results.append(fn(base, sweep))
+    return results

@@ -1,0 +1,124 @@
+"""Sweep runner for the paper's evaluation grid.
+
+One persistent session per device (the paper's interactive REPL keeps
+its environment alive across inputs); the Fibonacci workload is swept
+over the paper's thread counts 1..4096. The GPU devices run in
+warp-representative fidelity by default — uniform workloads make it
+bit-identical to full fidelity at a fraction of the simulation cost
+(tested in ``tests/runtime/test_fidelity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..cpu.device import CPUDeviceConfig
+from ..gpu.device import GPUDeviceConfig
+from ..runtime.devices import resolve_spec
+from ..runtime.fidelity import Fidelity
+from ..runtime.session import CuLiSession
+from ..runtime.workloads import THREAD_SWEEP, fibonacci_workload
+from ..timing import CommandStats
+
+__all__ = ["PAPER_DEVICE_ORDER", "SweepPoint", "run_sweep", "run_base_latencies"]
+
+#: The paper's device ordering (Figs. 14-16): Teslas, GeForces, CPUs.
+PAPER_DEVICE_ORDER: tuple[str, ...] = (
+    "tesla-c2075",
+    "tesla-k20",
+    "tesla-m40",
+    "gtx480",
+    "gtx680",
+    "gtx1080",
+    "intel-e5-2620",
+    "amd-6272",
+)
+
+GPU_NAMES: tuple[str, ...] = PAPER_DEVICE_ORDER[:6]
+CPU_NAMES: tuple[str, ...] = PAPER_DEVICE_ORDER[6:]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (device, thread-count) measurement."""
+
+    device: str
+    kind: str  # "gpu" | "cpu"
+    threads: int
+    stats: CommandStats
+    base_latency_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.stats.times.total_ms
+
+    @property
+    def kernel_ms(self) -> float:
+        return self.stats.times.kernel_ms
+
+
+def _session_for(device: str, fidelity: Fidelity) -> CuLiSession:
+    return CuLiSession(
+        device,
+        gpu_config=GPUDeviceConfig(fidelity=fidelity),
+        cpu_config=CPUDeviceConfig(fidelity=fidelity),
+    )
+
+
+def run_sweep(
+    devices: Optional[Sequence[str]] = None,
+    thread_counts: Iterable[int] = THREAD_SWEEP,
+    fidelity: Fidelity = Fidelity.WARP,
+    fib_n: int = 5,
+) -> dict[str, list[SweepPoint]]:
+    """The Fig. 15/16/17/18 measurement grid.
+
+    Returns ``{device_name: [SweepPoint per thread count]}`` in the
+    requested order.
+    """
+    devices = list(devices) if devices is not None else list(PAPER_DEVICE_ORDER)
+    counts = list(thread_counts)
+    results: dict[str, list[SweepPoint]] = {}
+    for device in devices:
+        spec_name = resolve_spec(device).name
+        session = _session_for(spec_name, fidelity)
+        try:
+            base = session.base_latency_ms
+            points: list[SweepPoint] = []
+            preamble_done = False
+            for n in counts:
+                workload = fibonacci_workload(n, fib_n=fib_n)
+                if not preamble_done:
+                    for form in workload.preamble:
+                        session.eval(form)
+                    preamble_done = True
+                stats = session.submit(workload.command)
+                points.append(
+                    SweepPoint(
+                        device=spec_name,
+                        kind=session.device.kind,
+                        threads=n,
+                        stats=stats,
+                        base_latency_ms=base,
+                    )
+                )
+            results[spec_name] = points
+        finally:
+            session.close()
+    return results
+
+
+def run_base_latencies(
+    devices: Optional[Sequence[str]] = None,
+) -> dict[str, float]:
+    """The Fig. 14 measurement: startup + graceful stop per device."""
+    devices = list(devices) if devices is not None else list(PAPER_DEVICE_ORDER)
+    out: dict[str, float] = {}
+    for device in devices:
+        session = _session_for(resolve_spec(device).name, Fidelity.WARP)
+        try:
+            out[session.device_name] = session.base_latency_ms
+        finally:
+            session.close()
+    return out

@@ -1,0 +1,69 @@
+"""Per-op profiling of the last command on a device.
+
+The devices keep the master thread's op counts until the next command,
+so after ``submit()`` one can ask where the cycles went — the tool used
+to calibrate the cost tables, exposed for users doing the same against
+real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ops import Op, Phase
+from .report import format_table
+
+__all__ = ["OpProfileRow", "op_profile", "render_op_profile"]
+
+
+@dataclass(frozen=True)
+class OpProfileRow:
+    op: str
+    phase: str
+    count: float
+    cycles: float
+    ms: float
+
+
+def op_profile(device, top: int = 12) -> list[OpProfileRow]:
+    """Cycle contributions of the last command, largest first.
+
+    Works for both device kinds (they share the master-context shape).
+    """
+    costs = device.spec.costs.vector
+    counts = device.master_ctx.counts.matrix()
+    to_ms = device.spec.cycles_to_ms
+    rows: list[OpProfileRow] = []
+    for phase in (Phase.PARSE, Phase.EVAL, Phase.PRINT):
+        contributions = counts[phase] * costs
+        for op_idx in np.nonzero(contributions)[0]:
+            cycles = float(contributions[op_idx])
+            rows.append(
+                OpProfileRow(
+                    op=Op(op_idx).name,
+                    phase=phase.name,
+                    count=float(counts[phase][op_idx]),
+                    cycles=cycles,
+                    ms=to_ms(cycles),
+                )
+            )
+    rows.sort(key=lambda r: -r.cycles)
+    return rows[:top]
+
+
+def render_op_profile(device, top: int = 12) -> str:
+    rows = op_profile(device, top=top)
+    total_ms = sum(r.ms for r in op_profile(device, top=10_000))
+    table = format_table(
+        ["op", "phase", "count", "cycles", "ms", "%"],
+        [
+            [r.op, r.phase, int(r.count), int(r.cycles), r.ms,
+             f"{100 * r.ms / total_ms:.1f}" if total_ms else "0.0"]
+            for r in rows
+        ],
+        title=f"Top ops of the last command on {device.name}",
+        float_fmt="{:.4f}",
+    )
+    return table

@@ -1,0 +1,61 @@
+"""ASCII rendering for figure tables (no plotting dependencies)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Fixed-width table; floats formatted with ``float_fmt``."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(text.rjust(widths[i]) for i, text in enumerate(parts))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, largest value = full width."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_w = max((len(s) for s in labels), default=0)
+    out = []
+    if title:
+        out.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        out.append(f"{label.ljust(label_w)}  {value:10.4f}{unit}  {bar}")
+    return "\n".join(out)

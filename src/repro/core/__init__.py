@@ -1,0 +1,26 @@
+"""The CuLi Lisp interpreter (the paper's primary contribution).
+
+A complete Lisp dialect implemented exactly along the paper's design:
+typed nodes in a fixed-size arena, environment trees, a char-by-char
+parser, a recursive evaluator whose builtins receive unevaluated
+arguments, a result printer, and the ``|||`` parallel form whose execution
+is delegated to a device back-end.
+"""
+
+from .nodes import Node, NodeType
+from .arena import NodeArena
+from .environment import Environment
+from .interpreter import Interpreter, InterpreterOptions
+from .reader import Parser
+from .printer import Printer
+
+__all__ = [
+    "Node",
+    "NodeType",
+    "NodeArena",
+    "Environment",
+    "Interpreter",
+    "InterpreterOptions",
+    "Parser",
+    "Printer",
+]

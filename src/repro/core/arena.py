@@ -1,0 +1,183 @@
+"""The fixed-size node arena (paper §III-A-c).
+
+"Nodes are stored in a large array that is created at the beginning of
+the program. This array has a fixed length set during the compilation of
+CuLi. The length limits the number of nodes that can be used during a run
+... Whenever a function asks for a new node to store a value, the
+sequentially next free node of this array will be returned. When the
+nodes are not needed anymore, they are marked as free."
+
+Design choice (documented in DESIGN.md): by default, allocation charges
+no atomic — the master partitions the arena so workers bump-allocate
+privately. ``atomic_cursor=True`` switches to the literal shared-cursor
+reading of the paper, where every allocation is a contended atomic
+fetch-add; the ablation benchmark compares both.
+"""
+
+from __future__ import annotations
+
+from ..context import ExecContext
+from ..errors import ArenaExhaustedError
+from ..gpu.atomics import AtomicCounter
+from ..ops import Op
+from .nodes import Node, NodeType
+
+__all__ = ["NodeArena", "ArenaStats"]
+
+
+class ArenaStats:
+    """Lifetime counters for one arena."""
+
+    __slots__ = ("allocs", "frees", "peak_used")
+
+    def __init__(self) -> None:
+        self.allocs = 0
+        self.frees = 0
+        self.peak_used = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"allocs": self.allocs, "frees": self.frees, "peak_used": self.peak_used}
+
+
+class NodeArena:
+    """Fixed-capacity node storage with a free list.
+
+    Nodes are created lazily (Python objects are heavy), but the
+    *capacity* is fixed up front like the paper's array, and exhaustion
+    raises :class:`ArenaExhaustedError`.
+    """
+
+    DEFAULT_CAPACITY = 1 << 18
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, atomic_cursor: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError("arena capacity must be positive")
+        self.capacity = capacity
+        self.atomic_cursor = atomic_cursor
+        #: width of simultaneous allocators, set by the parallel engine
+        #: while workers run in atomic-cursor (ablation) mode.
+        self.contention_width = 1
+        self.cursor = AtomicCounter()
+        self._free: list[Node] = []
+        self._allocated: set[Node] = set()
+        self._used = 0
+        self._next_idx = 0
+        self.stats = ArenaStats()
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free_count(self) -> int:
+        return self.capacity - self._used
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, ntype: NodeType, ctx: ExecContext) -> Node:
+        ctx.charge(Op.NODE_ALLOC)
+        if self.atomic_cursor:
+            self.cursor.fetch_add_contended(1, ctx, self.contention_width)
+        if self._free:
+            node = self._free.pop()
+            self._reset(node, ntype)
+        else:
+            if self._used >= self.capacity:
+                raise ArenaExhaustedError(
+                    f"node arena exhausted ({self.capacity} nodes); "
+                    "the size of possible inputs is limited (paper §III-D)"
+                )
+            node = Node(self._next_idx, ntype)
+            self._next_idx += 1
+        self._used += 1
+        self._allocated.add(node)
+        self.stats.allocs += 1
+        if self._used > self.stats.peak_used:
+            self.stats.peak_used = self._used
+        return node
+
+    @staticmethod
+    def _reset(node: Node, ntype: NodeType) -> None:
+        node.ntype = ntype
+        node.ival = 0
+        node.fval = 0.0
+        node.sval = ""
+        node.fn = None
+        node.first = None
+        node.last = None
+        node.nxt = None
+        node.params = None
+        node.sealed = False
+        node.linked = False
+
+    def free(self, node: Node) -> None:
+        """Mark one node as free (it may be handed out again)."""
+        if self._used <= 0:
+            raise ArenaExhaustedError("free() with no live nodes — double free?")
+        self._allocated.discard(node)
+        self._used -= 1
+        self.stats.frees += 1
+        self._free.append(node)
+
+    def allocated_nodes(self) -> set[Node]:
+        """Live nodes (a copy — callers may free while iterating)."""
+        return set(self._allocated)
+
+    def free_tree(self, node: Node) -> int:
+        """Mark a whole sub-tree free; returns the number of nodes freed.
+
+        Only the tree's own structure is walked (children + siblings
+        below ``node``); nodes referenced as params/fn are shared and are
+        not freed.
+        """
+        freed = 0
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            child = cur.first
+            while child is not None:
+                stack.append(child)
+                child = child.nxt
+            self.free(cur)
+            freed += 1
+        return freed
+
+    # -- convenience constructors ----------------------------------------------
+
+    def new_nil(self, ctx: ExecContext) -> Node:
+        return self.alloc(NodeType.N_NIL, ctx).seal()
+
+    def new_true(self, ctx: ExecContext) -> Node:
+        return self.alloc(NodeType.N_TRUE, ctx).seal()
+
+    def new_int(self, value: int, ctx: ExecContext) -> Node:
+        node = self.alloc(NodeType.N_INT, ctx)
+        ctx.charge(Op.NODE_WRITE)
+        return node.set_int(value).seal()
+
+    def new_float(self, value: float, ctx: ExecContext) -> Node:
+        node = self.alloc(NodeType.N_FLOAT, ctx)
+        ctx.charge(Op.NODE_WRITE)
+        return node.set_float(value).seal()
+
+    def new_string(self, value: str, ctx: ExecContext) -> Node:
+        node = self.alloc(NodeType.N_STRING, ctx)
+        ctx.charge(Op.NODE_WRITE)
+        return node.set_str(value).seal()
+
+    def new_symbol(self, name: str, ctx: ExecContext) -> Node:
+        node = self.alloc(NodeType.N_SYMBOL, ctx)
+        ctx.charge(Op.NODE_WRITE)
+        return node.set_str(name).seal()
+
+    def new_bool(self, value: bool, ctx: ExecContext) -> Node:
+        return self.new_true(ctx) if value else self.new_nil(ctx)
+
+    def new_number(self, value: int | float, ctx: ExecContext) -> Node:
+        if isinstance(value, bool):  # bool is an int subclass; reject early
+            raise TypeError("booleans are not CuLi numbers")
+        if isinstance(value, int):
+            return self.new_int(value, ctx)
+        return self.new_float(value, ctx)

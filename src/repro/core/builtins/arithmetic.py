@@ -1,0 +1,183 @@
+"""Arithmetic builtins: + - * / mod rem abs min max 1+ 1- expt sqrt and
+integer rounding. Costs: one ALU/FADD per addition, IMUL/FMUL per
+multiplication, IDIV/FDIV per division — matching what a device thread
+executes per element.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import EvalError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import as_number, eval_args
+
+__all__ = ["register"]
+
+
+def _charge_binop(ctx, a, b, int_op: Op, float_op: Op) -> None:
+    if isinstance(a, int) and isinstance(b, int):
+        ctx.charge(int_op)
+    else:
+        ctx.charge(float_op)
+
+
+def _add(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    total: int | float = 0
+    for node in values:
+        v = as_number(node, "+")
+        _charge_binop(ctx, total, v, Op.ALU, Op.FADD)
+        total = total + v
+    return interp.arena.new_number(total, ctx)
+
+
+def _sub(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    first = as_number(values[0], "-")
+    if len(values) == 1:
+        ctx.charge(Op.ALU)
+        return interp.arena.new_number(-first, ctx)
+    total: int | float = first
+    for node in values[1:]:
+        v = as_number(node, "-")
+        _charge_binop(ctx, total, v, Op.ALU, Op.FADD)
+        total = total - v
+    return interp.arena.new_number(total, ctx)
+
+
+def _mul(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    total: int | float = 1
+    for node in values:
+        v = as_number(node, "*")
+        _charge_binop(ctx, total, v, Op.IMUL, Op.FMUL)
+        total = total * v
+    return interp.arena.new_number(total, ctx)
+
+
+def _div(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    first = as_number(values[0], "/")
+    if len(values) == 1:
+        values = [values[0], values[0]]
+        total: int | float = 1
+        rest = [first]
+    else:
+        total = first
+        rest = [as_number(n, "/") for n in values[1:]]
+    for v in rest:
+        if v == 0:
+            raise EvalError("/: division by zero")
+        _charge_binop(ctx, total, v, Op.IDIV, Op.FDIV)
+        if isinstance(total, int) and isinstance(v, int):
+            # C-style: exact when it divides, otherwise promote to float
+            # (CuLi has no rationals).
+            total = total // v if total % v == 0 else total / v
+        else:
+            total = total / v
+    return interp.arena.new_number(total, ctx)
+
+
+def _mod(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    x, y = as_number(a, "mod"), as_number(b, "mod")
+    if y == 0:
+        raise EvalError("mod: division by zero")
+    ctx.charge(Op.IDIV)
+    return interp.arena.new_number(x % y, ctx)
+
+
+def _rem(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    x, y = as_number(a, "rem"), as_number(b, "rem")
+    if y == 0:
+        raise EvalError("rem: division by zero")
+    ctx.charge(Op.IDIV)
+    result = math.fmod(x, y)  # C-style: sign follows the dividend
+    if isinstance(x, int) and isinstance(y, int):
+        result = int(result)
+    return interp.arena.new_number(result, ctx)
+
+
+def _abs(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.ALU)
+    return interp.arena.new_number(abs(as_number(node, "abs")), ctx)
+
+
+def _minmax(which: str):
+    def impl(interp, env, ctx, args, depth) -> Node:
+        values = [as_number(n, which) for n in eval_args(interp, env, ctx, args, depth)]
+        ctx.charge(Op.ALU, max(1, len(values) - 1))
+        result = min(values) if which == "min" else max(values)
+        return interp.arena.new_number(result, ctx)
+
+    return impl
+
+
+def _inc(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.ALU)
+    return interp.arena.new_number(as_number(node, "1+") + 1, ctx)
+
+
+def _dec(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.ALU)
+    return interp.arena.new_number(as_number(node, "1-") - 1, ctx)
+
+
+def _expt(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    base, expo = as_number(a, "expt"), as_number(b, "expt")
+    ctx.charge(Op.FMUL, max(1, int(abs(expo)) if isinstance(expo, int) else 8))
+    try:
+        result = base ** expo
+    except (OverflowError, ZeroDivisionError) as exc:
+        raise EvalError(f"expt: {exc}") from None
+    if isinstance(result, complex):
+        raise EvalError("expt: complex result not supported")
+    return interp.arena.new_number(result, ctx)
+
+
+def _sqrt(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    v = as_number(node, "sqrt")
+    if v < 0:
+        raise EvalError("sqrt: negative argument")
+    ctx.charge(Op.FDIV)
+    return interp.arena.new_float(math.sqrt(v), ctx)
+
+
+def _rounder(which: str):
+    fns = {"floor": math.floor, "ceiling": math.ceil, "truncate": math.trunc,
+           "round": round}
+
+    def impl(interp, env, ctx, args, depth) -> Node:
+        (node,) = eval_args(interp, env, ctx, args, depth)
+        ctx.charge(Op.FADD)
+        return interp.arena.new_int(int(fns[which](as_number(node, which))), ctx)
+
+    return impl
+
+
+def register(reg) -> None:
+    reg.add("+", _add, 0, None, "Sum of numbers; (+) is 0.")
+    reg.add("-", _sub, 1, None, "Difference; unary form negates.")
+    reg.add("*", _mul, 0, None, "Product of numbers; (*) is 1.")
+    reg.add("/", _div, 1, None, "Quotient; integer when exact, else float.")
+    reg.add("mod", _mod, 2, 2, "Modulo (sign follows divisor).")
+    reg.add("rem", _rem, 2, 2, "Remainder (sign follows dividend).")
+    reg.add("abs", _abs, 1, 1, "Absolute value.")
+    reg.add("min", _minmax("min"), 1, None, "Smallest argument.")
+    reg.add("max", _minmax("max"), 1, None, "Largest argument.")
+    reg.add("1+", _inc, 1, 1, "Increment.")
+    reg.add("1-", _dec, 1, 1, "Decrement.")
+    reg.add("expt", _expt, 2, 2, "base ** exponent.")
+    reg.add("sqrt", _sqrt, 1, 1, "Square root (always a float).")
+    reg.add("floor", _rounder("floor"), 1, 1, "Largest integer <= x.")
+    reg.add("ceiling", _rounder("ceiling"), 1, 1, "Smallest integer >= x.")
+    reg.add("truncate", _rounder("truncate"), 1, 1, "Integer toward zero.")
+    reg.add("round", _rounder("round"), 1, 1, "Nearest integer (banker's).")

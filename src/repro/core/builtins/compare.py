@@ -1,0 +1,76 @@
+"""Comparison builtins: numeric chains (= /= < > <= >=) and the identity
+and structural equality predicates (eq, eql, equal)."""
+
+from __future__ import annotations
+
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import as_number, eval_args, nodes_equal
+
+__all__ = ["register"]
+
+
+def _chain(name: str, op) -> object:
+    def impl(interp, env, ctx, args, depth) -> Node:
+        values = [as_number(n, name) for n in eval_args(interp, env, ctx, args, depth)]
+        ctx.charge(Op.ALU, max(1, len(values) - 1))
+        ok = all(op(a, b) for a, b in zip(values, values[1:]))
+        return interp.arena.new_bool(ok, ctx)
+
+    return impl
+
+
+def _ne(interp, env, ctx, args, depth) -> Node:
+    """(/= a b ...) — true when all arguments are pairwise distinct (CL)."""
+    values = [as_number(n, "/=") for n in eval_args(interp, env, ctx, args, depth)]
+    n = len(values)
+    ctx.charge(Op.ALU, max(1, n * (n - 1) // 2))
+    ok = all(values[i] != values[j] for i in range(n) for j in range(i + 1, n))
+    return interp.arena.new_bool(ok, ctx)
+
+
+def _eq(interp, env, ctx, args, depth) -> Node:
+    """Identity: the very same node (nil/T compare by type)."""
+    a, b = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.ALU)
+    same = a is b or (
+        a.ntype == b.ntype and a.ntype in (NodeType.N_NIL, NodeType.N_TRUE)
+    )
+    return interp.arena.new_bool(same, ctx)
+
+
+def _eql(interp, env, ctx, args, depth) -> Node:
+    """Identity, or same-type numbers/symbols with the same value."""
+    a, b = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.ALU)
+    if a is b:
+        return interp.arena.new_true(ctx)
+    if a.ntype != b.ntype:
+        return interp.arena.new_nil(ctx)
+    if a.ntype == NodeType.N_INT:
+        return interp.arena.new_bool(a.ival == b.ival, ctx)
+    if a.ntype == NodeType.N_FLOAT:
+        return interp.arena.new_bool(a.fval == b.fval, ctx)
+    if a.ntype == NodeType.N_SYMBOL:
+        ctx.charge(Op.SYM_CHAR_CMP, min(len(a.sval), len(b.sval)) + 1)
+        return interp.arena.new_bool(a.sval == b.sval, ctx)
+    if a.ntype in (NodeType.N_NIL, NodeType.N_TRUE):
+        return interp.arena.new_true(ctx)
+    return interp.arena.new_nil(ctx)
+
+
+def _equal(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    return interp.arena.new_bool(nodes_equal(a, b, ctx), ctx)
+
+
+def register(reg) -> None:
+    reg.add("=", _chain("=", lambda a, b: a == b), 1, None, "Numeric equality chain.")
+    reg.add("/=", _ne, 1, None, "All arguments pairwise distinct.")
+    reg.add("<", _chain("<", lambda a, b: a < b), 1, None, "Strictly increasing.")
+    reg.add(">", _chain(">", lambda a, b: a > b), 1, None, "Strictly decreasing.")
+    reg.add("<=", _chain("<=", lambda a, b: a <= b), 1, None, "Non-decreasing.")
+    reg.add(">=", _chain(">=", lambda a, b: a >= b), 1, None, "Non-increasing.")
+    reg.add("eq", _eq, 2, 2, "Node identity.")
+    reg.add("eql", _eql, 2, 2, "Identity or same-type same-value atom.")
+    reg.add("equal", _equal, 2, 2, "Structural equality.")

@@ -1,0 +1,131 @@
+"""Control-flow builtins: quote, if, cond, when, unless, progn, while,
+dotimes.
+
+All of these receive unevaluated arguments — the defining property of
+CuLi builtins (paper: "They are not evaluated first since built-in
+functions might use them without evaluation").
+
+``while`` has an iteration cap: on the paper's GPU an endless loop is a
+livelock ("in case of an endless loop the computation cannot terminate"),
+so the simulated device aborts runaway loops deterministically instead.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError, TypeMismatchError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import as_int, list_items
+
+__all__ = ["register"]
+
+
+def _quote(interp, env, ctx, args, depth) -> Node:
+    return args[0]
+
+
+def _if(interp, env, ctx, args, depth) -> Node:
+    cond = interp.eval_node(args[0], env, ctx, depth)
+    ctx.charge(Op.BRANCH)
+    if interp.truthy(cond, ctx):
+        return interp.eval_node(args[1], env, ctx, depth)
+    if len(args) >= 3:
+        return interp.eval_node(args[2], env, ctx, depth)
+    return interp.nil
+
+
+def _cond(interp, env, ctx, args, depth) -> Node:
+    for clause in args:
+        if not clause.is_list_like or clause.first is None:
+            raise EvalError("cond: each clause must be a (test body...) list")
+        ctx.charge(Op.NODE_READ)
+        ctx.charge(Op.BRANCH)
+        test = interp.eval_node(clause.first, env, ctx, depth)
+        if interp.truthy(test, ctx):
+            result = test
+            body = clause.first.nxt
+            ctx.charge(Op.NODE_READ)
+            while body is not None:
+                result = interp.eval_node(body, env, ctx, depth)
+                body = body.nxt
+                ctx.charge(Op.NODE_READ)
+            return result
+    return interp.nil
+
+
+def _when(interp, env, ctx, args, depth) -> Node:
+    cond = interp.eval_node(args[0], env, ctx, depth)
+    ctx.charge(Op.BRANCH)
+    if not interp.truthy(cond, ctx):
+        return interp.nil
+    result = interp.nil
+    for body in args[1:]:
+        result = interp.eval_node(body, env, ctx, depth)
+    return result
+
+
+def _unless(interp, env, ctx, args, depth) -> Node:
+    cond = interp.eval_node(args[0], env, ctx, depth)
+    ctx.charge(Op.BRANCH)
+    if interp.truthy(cond, ctx):
+        return interp.nil
+    result = interp.nil
+    for body in args[1:]:
+        result = interp.eval_node(body, env, ctx, depth)
+    return result
+
+
+def _progn(interp, env, ctx, args, depth) -> Node:
+    result = interp.nil
+    for form in args:
+        result = interp.eval_node(form, env, ctx, depth)
+    return result
+
+
+def _while(interp, env, ctx, args, depth) -> Node:
+    limit = interp.options.max_loop_iterations
+    iterations = 0
+    while True:
+        ctx.charge(Op.BRANCH)
+        cond = interp.eval_node(args[0], env, ctx, depth)
+        if not interp.truthy(cond, ctx):
+            return interp.nil
+        for body in args[1:]:
+            interp.eval_node(body, env, ctx, depth)
+        iterations += 1
+        if iterations > limit:
+            raise EvalError(
+                f"while: exceeded {limit} iterations — on the GPU this "
+                "would be a warp livelock (paper §III-D-d)"
+            )
+
+
+def _dotimes(interp, env, ctx, args, depth) -> Node:
+    spec = args[0]
+    if not spec.is_list_like:
+        raise TypeMismatchError("dotimes: first argument must be (var count)")
+    parts = list_items(spec, ctx, "dotimes")
+    if len(parts) != 2 or parts[0].ntype != NodeType.N_SYMBOL:
+        raise TypeMismatchError("dotimes: first argument must be (var count)")
+    var = parts[0].sval
+    count = as_int(interp.eval_node(parts[1], env, ctx, depth), "dotimes")
+    local = env.child(label="dotimes")
+    ctx.charge(Op.NODE_ALLOC)
+    for i in range(max(0, count)):
+        ctx.charge(Op.BRANCH)
+        local.head = None  # rebind the loop variable each iteration
+        local.define(var, interp.arena.new_int(i, ctx), ctx)
+        for body in args[1:]:
+            interp.eval_node(body, local, ctx, depth)
+    return interp.nil
+
+
+def register(reg) -> None:
+    reg.add("quote", _quote, 1, 1, "Return the argument unevaluated.")
+    reg.add("if", _if, 2, 3, "(if test then [else]).")
+    reg.add("cond", _cond, 0, None, "First clause with a truthy test wins.")
+    reg.add("when", _when, 1, None, "Body when test is truthy.")
+    reg.add("unless", _unless, 1, None, "Body when test is nil.")
+    reg.add("progn", _progn, 0, None, "Evaluate in order; return the last value.")
+    reg.add("while", _while, 1, None, "(while test body...) -> nil.")
+    reg.add("dotimes", _dotimes, 1, None, "(dotimes (var n) body...) -> nil.")

@@ -1,0 +1,189 @@
+"""Definition builtins: defun, lambda, defmacro, let, let*, setq, plus
+the application utilities funcall / apply / eval / macroexpand-1.
+
+Paper semantics reproduced here:
+
+* ``defun`` stores an N_FORM in the **global** environment ("user-defined
+  functions that are stored in the global environment by the keyword
+  defun") and the form remembers its parameter symbols.
+* ``let`` "adds a new symbol and the corresponding value to the
+  environment of the current expression" — a local binding.
+* ``setq`` "updates the nearest existing symbol that matches", and may
+  therefore cause side-effects visible to parallel code (the paper warns
+  it "must be used carefully in parallel computations").
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError, TypeMismatchError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import eval_args, list_items
+
+__all__ = ["register"]
+
+
+def _check_params(params: Node, who: str, ctx) -> None:
+    if not (params.is_list_like or params.is_nil):
+        raise TypeMismatchError(f"{who}: parameter list must be a list")
+    if not params.is_nil:
+        for p in list_items(params, ctx, who):
+            if p.ntype != NodeType.N_SYMBOL:
+                raise TypeMismatchError(f"{who}: parameter {p!r} is not a symbol")
+
+
+def _make_form(interp, ctx, name: str, params: Node, body: list[Node],
+               ntype: NodeType) -> Node:
+    if not body:
+        raise EvalError(f"{name or 'lambda'}: empty body")
+    form = interp.arena.alloc(ntype, ctx)
+    ctx.charge(Op.NODE_WRITE, 4)
+    form.set_str(name)
+    # Params may be nil (no parameters) — normalize to an empty list node.
+    if params.is_nil:
+        empty = interp.arena.alloc(NodeType.N_LIST, ctx)
+        form.set_params(empty.seal())
+    else:
+        form.set_params(params)
+    # The body forms are consecutive siblings in the defining list, so the
+    # stored subtree is exactly the chain starting at the first body form.
+    form.first = body[0]
+    form.last = body[-1]
+    return form.seal()
+
+
+def _defun(interp, env, ctx, args, depth) -> Node:
+    name_node = args[0]
+    if name_node.ntype != NodeType.N_SYMBOL:
+        raise TypeMismatchError("defun: function name must be a symbol")
+    params = args[1]
+    _check_params(params, "defun", ctx)
+    form = _make_form(interp, ctx, name_node.sval, params, args[2:], NodeType.N_FORM)
+    env.global_env().define(name_node.sval, form, ctx)
+    return interp.arena.new_symbol(name_node.sval, ctx)
+
+
+def _lambda(interp, env, ctx, args, depth) -> Node:
+    params = args[0]
+    _check_params(params, "lambda", ctx)
+    return _make_form(interp, ctx, "", params, args[1:], NodeType.N_FORM)
+
+
+def _defmacro(interp, env, ctx, args, depth) -> Node:
+    name_node = args[0]
+    if name_node.ntype != NodeType.N_SYMBOL:
+        raise TypeMismatchError("defmacro: macro name must be a symbol")
+    params = args[1]
+    _check_params(params, "defmacro", ctx)
+    macro = _make_form(interp, ctx, name_node.sval, params, args[2:], NodeType.N_MACRO)
+    env.global_env().define(name_node.sval, macro, ctx)
+    return interp.arena.new_symbol(name_node.sval, ctx)
+
+
+def _let_common(interp, env, ctx, args, depth, sequential: bool) -> Node:
+    bindings = args[0]
+    if not (bindings.is_list_like or bindings.is_nil):
+        raise TypeMismatchError("let: bindings must be a list")
+    local = env.child(label="let*" if sequential else "let")
+    ctx.charge(Op.NODE_ALLOC)
+    init_env = local if sequential else env
+    if not bindings.is_nil:
+        for binding in list_items(bindings, ctx, "let"):
+            if binding.ntype == NodeType.N_SYMBOL:
+                local.define(binding.sval, interp.nil, ctx)
+                continue
+            parts = list_items(binding, ctx, "let")
+            if not parts or parts[0].ntype != NodeType.N_SYMBOL:
+                raise TypeMismatchError("let: binding must be (symbol value)")
+            value = (
+                interp.eval_node(parts[1], init_env, ctx, depth)
+                if len(parts) > 1
+                else interp.nil
+            )
+            local.define(parts[0].sval, value, ctx)
+    result = interp.nil
+    for body in args[1:]:
+        result = interp.eval_node(body, local, ctx, depth)
+    return result
+
+
+def _let(interp, env, ctx, args, depth) -> Node:
+    return _let_common(interp, env, ctx, args, depth, sequential=False)
+
+
+def _let_star(interp, env, ctx, args, depth) -> Node:
+    return _let_common(interp, env, ctx, args, depth, sequential=True)
+
+
+def _setq(interp, env, ctx, args, depth) -> Node:
+    if len(args) % 2:
+        raise EvalError("setq: expected symbol/value pairs")
+    result = interp.nil
+    for i in range(0, len(args), 2):
+        sym = args[i]
+        if sym.ntype != NodeType.N_SYMBOL:
+            raise TypeMismatchError("setq: target must be a symbol")
+        result = interp.eval_node(args[i + 1], env, ctx, depth)
+        env.set_nearest(sym.sval, result, ctx)
+    return result
+
+
+def _resolve_callable(interp, env, ctx, node: Node, depth: int, who: str) -> Node:
+    fn = interp.eval_node(node, env, ctx, depth)
+    if fn.ntype == NodeType.N_SYMBOL:
+        looked = env.lookup(fn.sval, ctx)
+        if looked is not None:
+            fn = looked
+    if not fn.is_callable:
+        raise TypeMismatchError(f"{who}: {fn.ntype.name} is not callable")
+    return fn
+
+
+def _funcall(interp, env, ctx, args, depth) -> Node:
+    fn = _resolve_callable(interp, env, ctx, args[0], depth, "funcall")
+    values = eval_args(interp, env, ctx, args[1:], depth)
+    return interp.apply_callable(fn, values, env, ctx, depth)
+
+
+def _apply(interp, env, ctx, args, depth) -> Node:
+    fn = _resolve_callable(interp, env, ctx, args[0], depth, "apply")
+    arglist = interp.eval_node(args[1], env, ctx, depth)
+    values = list_items(arglist, ctx, "apply") if not arglist.is_nil else []
+    return interp.apply_callable(fn, values, env, ctx, depth)
+
+
+def _eval(interp, env, ctx, args, depth) -> Node:
+    once = interp.eval_node(args[0], env, ctx, depth)
+    return interp.eval_node(once, env, ctx, depth)
+
+
+def _macroexpand_1(interp, env, ctx, args, depth) -> Node:
+    form = interp.eval_node(args[0], env, ctx, depth)
+    if not form.is_list_like or form.first is None:
+        return form
+    head = form.first
+    if head.ntype != NodeType.N_SYMBOL:
+        return form
+    macro = env.lookup(head.sval, ctx)
+    if macro is None or macro.ntype != NodeType.N_MACRO:
+        return form
+    call_args = []
+    child = head.nxt
+    while child is not None:
+        call_args.append(child)
+        child = child.nxt
+        ctx.charge(Op.NODE_READ)
+    return interp.evaluator.expand_macro(macro, call_args, env, ctx, depth)
+
+
+def register(reg) -> None:
+    reg.add("defun", _defun, 3, None, "(defun name (params) body...).")
+    reg.add("lambda", _lambda, 2, None, "(lambda (params) body...) -> form.")
+    reg.add("defmacro", _defmacro, 3, None, "(defmacro name (params) body...).")
+    reg.add("let", _let, 1, None, "Parallel local bindings.")
+    reg.add("let*", _let_star, 1, None, "Sequential local bindings.")
+    reg.add("setq", _setq, 2, None, "Update the nearest matching binding.")
+    reg.add("funcall", _funcall, 1, None, "Call a function on evaluated args.")
+    reg.add("apply", _apply, 2, 2, "Call a function on a list of args.")
+    reg.add("eval", _eval, 1, 1, "Evaluate the evaluated argument.")
+    reg.add("macroexpand-1", _macroexpand_1, 1, 1, "Expand a macro call once.")

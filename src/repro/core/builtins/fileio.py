@@ -1,0 +1,85 @@
+"""File I/O builtins — the paper's announced future feature (§III-D).
+
+Backed by the interpreter's *file service*: on devices this is the
+message-buffer round-trip protocol (``repro.gpu.fileio``), on a bare
+interpreter an in-memory stub. Files are virtual; nothing touches the
+real disk.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError
+from ..nodes import Node
+from .helpers import as_string, build_list, eval_args
+
+__all__ = ["register"]
+
+
+def _service(interp, who: str):
+    service = interp.file_service
+    if service is None:
+        raise EvalError(f"{who}: no file service attached to this interpreter")
+    return service
+
+
+def _read_file(interp, env, ctx, args, depth) -> Node:
+    (name_node,) = eval_args(interp, env, ctx, args, depth)
+    name = as_string(name_node, "read-file")
+    content = _service(interp, "read-file").read(name, ctx)
+    if content is None:
+        return interp.nil
+    return interp.arena.new_string(content, ctx)
+
+
+def _write_file(interp, env, ctx, args, depth) -> Node:
+    name_node, text_node = eval_args(interp, env, ctx, args, depth)
+    name = as_string(name_node, "write-file")
+    text = as_string(text_node, "write-file")
+    _service(interp, "write-file").write(name, text, ctx)
+    return interp.arena.new_int(len(text), ctx)
+
+
+def _file_exists(interp, env, ctx, args, depth) -> Node:
+    (name_node,) = eval_args(interp, env, ctx, args, depth)
+    name = as_string(name_node, "file-exists?")
+    return interp.arena.new_bool(_service(interp, "file-exists?").exists(name, ctx), ctx)
+
+
+def _list_files(interp, env, ctx, args, depth) -> Node:
+    names = _service(interp, "list-files").listing(ctx)
+    return build_list(
+        interp, [interp.arena.new_string(n, ctx) for n in names], ctx
+    )
+
+
+def _delete_file(interp, env, ctx, args, depth) -> Node:
+    (name_node,) = eval_args(interp, env, ctx, args, depth)
+    name = as_string(name_node, "delete-file")
+    return interp.arena.new_bool(
+        _service(interp, "delete-file").delete(name, ctx), ctx
+    )
+
+
+def _load(interp, env, ctx, args, depth) -> Node:
+    """(load "file") — read a file of forms and evaluate them in order."""
+    (name_node,) = eval_args(interp, env, ctx, args, depth)
+    name = as_string(name_node, "load")
+    content = _service(interp, "load").read(name, ctx)
+    if content is None:
+        raise EvalError(f"load: no such file {name!r}")
+    from ..reader import Parser
+
+    forms = Parser(interp, ctx).parse(content)
+    result = interp.nil
+    for form in forms:
+        result = interp.eval_node(form, env, ctx, depth)
+    return result
+
+
+def register(reg) -> None:
+    reg.add("read-file", _read_file, 1, 1, "File contents as a string, or nil.")
+    reg.add("write-file", _write_file, 2, 2, "Write a string; returns its length.")
+    reg.add("file-exists?", _file_exists, 1, 1, "T if the file exists.")
+    reg.add("list-files", _list_files, 0, 0, "All file names, sorted.")
+    reg.add("delete-file", _delete_file, 1, 1, "Remove a file; T if it existed.")
+    reg.add("load", _load, 1, 1, "Parse and evaluate a file of forms.")

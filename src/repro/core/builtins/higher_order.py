@@ -1,0 +1,207 @@
+"""Higher-order list builtins: mapcar, reduce, remove-if, sort, and
+friends.
+
+These are extensions over the paper's minimal core — the natural
+standard library for a parallel Lisp (mapcar is the sequential sibling
+of ``|||``). ``sort`` is a device-side merge sort charging
+O(n log n) comparisons.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError, TypeMismatchError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import as_int, build_list, eval_args, list_items, nodes_equal
+
+__all__ = ["register"]
+
+
+def _resolve_fn(interp, env, ctx, node: Node, depth: int, who: str) -> Node:
+    fn = interp.eval_node(node, env, ctx, depth)
+    if fn.ntype == NodeType.N_SYMBOL:
+        looked = env.lookup(fn.sval, ctx)
+        if looked is not None:
+            fn = looked
+    if not fn.is_callable or fn.ntype == NodeType.N_MACRO:
+        raise TypeMismatchError(f"{who}: expected a function, got {fn.ntype.name}")
+    return fn
+
+
+def _mapcar(interp, env, ctx, args, depth) -> Node:
+    """(mapcar fn list1 ... listk) — stop at the shortest list (CL)."""
+    fn = _resolve_fn(interp, env, ctx, args[0], depth, "mapcar")
+    lists = [
+        list_items(interp.eval_node(a, env, ctx, depth), ctx, "mapcar")
+        for a in args[1:]
+    ]
+    if not lists:
+        raise EvalError("mapcar: needs at least one list")
+    n = min(len(lst) for lst in lists)
+    results = []
+    for i in range(n):
+        row = [lst[i] for lst in lists]
+        results.append(interp.apply_callable(fn, row, env, ctx, depth))
+    return build_list(interp, results, ctx)
+
+
+def _reduce(interp, env, ctx, args, depth) -> Node:
+    """(reduce fn list [initial]) — left fold."""
+    fn = _resolve_fn(interp, env, ctx, args[0], depth, "reduce")
+    items = list_items(interp.eval_node(args[1], env, ctx, depth), ctx, "reduce")
+    if len(args) >= 3:
+        acc = interp.eval_node(args[2], env, ctx, depth)
+    elif items:
+        acc, items = items[0], items[1:]
+    else:
+        raise EvalError("reduce: empty list with no initial value")
+    for item in items:
+        acc = interp.apply_callable(fn, [acc, item], env, ctx, depth)
+    return acc
+
+
+def _remove_if(interp, env, ctx, args, depth) -> Node:
+    fn = _resolve_fn(interp, env, ctx, args[0], depth, "remove-if")
+    items = list_items(interp.eval_node(args[1], env, ctx, depth), ctx, "remove-if")
+    kept = []
+    for item in items:
+        verdict = interp.apply_callable(fn, [item], env, ctx, depth)
+        ctx.charge(Op.BRANCH)
+        if not interp.truthy(verdict, ctx):
+            kept.append(item)
+    return build_list(interp, kept, ctx)
+
+
+def _find_if(interp, env, ctx, args, depth) -> Node:
+    fn = _resolve_fn(interp, env, ctx, args[0], depth, "find-if")
+    items = list_items(interp.eval_node(args[1], env, ctx, depth), ctx, "find-if")
+    for item in items:
+        verdict = interp.apply_callable(fn, [item], env, ctx, depth)
+        ctx.charge(Op.BRANCH)
+        if interp.truthy(verdict, ctx):
+            return item
+    return interp.nil
+
+
+def _count_if(interp, env, ctx, args, depth) -> Node:
+    fn = _resolve_fn(interp, env, ctx, args[0], depth, "count-if")
+    items = list_items(interp.eval_node(args[1], env, ctx, depth), ctx, "count-if")
+    hits = 0
+    for item in items:
+        verdict = interp.apply_callable(fn, [item], env, ctx, depth)
+        ctx.charge(Op.BRANCH)
+        if interp.truthy(verdict, ctx):
+            hits += 1
+    return interp.arena.new_int(hits, ctx)
+
+
+def _default_less(interp, env, ctx, a: Node, b: Node, depth: int) -> bool:
+    if a.ntype in (NodeType.N_INT, NodeType.N_FLOAT) and b.ntype in (
+        NodeType.N_INT, NodeType.N_FLOAT
+    ):
+        ctx.charge(Op.ALU)
+        return a.number < b.number
+    if a.ntype == NodeType.N_STRING and b.ntype == NodeType.N_STRING:
+        ctx.charge(Op.SYM_CHAR_CMP, min(len(a.sval), len(b.sval)) + 1)
+        return a.sval < b.sval
+    raise TypeMismatchError("sort: default order needs numbers or strings")
+
+
+def _merge_sort(interp, env, ctx, items, less, depth):
+    """Device merge sort: one charged comparison per merge step."""
+    if len(items) <= 1:
+        return items
+    mid = len(items) // 2
+    left = _merge_sort(interp, env, ctx, items[:mid], less, depth)
+    right = _merge_sort(interp, env, ctx, items[mid:], less, depth)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        ctx.charge(Op.BRANCH)
+        if less(right[j], left[i]):  # stable: take left on ties
+            merged.append(right[j])
+            j += 1
+        else:
+            merged.append(left[i])
+            i += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged
+
+
+def _sort(interp, env, ctx, args, depth) -> Node:
+    """(sort list [predicate]) — stable merge sort, fresh list."""
+    items = list_items(interp.eval_node(args[0], env, ctx, depth), ctx, "sort")
+    if len(args) >= 2:
+        fn = _resolve_fn(interp, env, ctx, args[1], depth, "sort")
+
+        def less(a: Node, b: Node) -> bool:
+            verdict = interp.apply_callable(fn, [a, b], env, ctx, depth)
+            return interp.truthy(verdict, ctx)
+
+    else:
+        def less(a: Node, b: Node) -> bool:
+            return _default_less(interp, env, ctx, a, b, depth)
+
+    ordered = _merge_sort(interp, env, ctx, items, less, depth)
+    return build_list(interp, ordered, ctx)
+
+
+def _nthcdr(interp, env, ctx, args, depth) -> Node:
+    count_node, lst = eval_args(interp, env, ctx, args, depth)
+    count = as_int(count_node, "nthcdr")
+    if count < 0:
+        raise EvalError("nthcdr: negative count")
+    node = lst.first if (lst.is_list_like and not lst.is_nil) else None
+    ctx.charge(Op.NODE_READ)
+    while node is not None and count > 0:
+        node = node.nxt
+        count -= 1
+        ctx.charge(Op.NODE_READ)
+    if node is None:
+        return interp.nil
+    view = interp.arena.alloc(NodeType.N_LIST, ctx)
+    ctx.charge(Op.NODE_WRITE, 2)
+    view.first = node
+    view.last = lst.last
+    return view.seal()
+
+
+def _subst(interp, env, ctx, args, depth) -> Node:
+    """(subst new old tree) — structural replacement, fresh tree."""
+    new, old, tree = eval_args(interp, env, ctx, args, depth)
+
+    def walk(node: Node) -> Node:
+        ctx.charge(Op.NODE_READ)
+        if nodes_equal(node, old, ctx):
+            return new
+        if node.is_list_like and node.first is not None:
+            return build_list(interp, [walk(c) for c in node.children()], ctx)
+        return node
+
+    return walk(tree)
+
+
+def _iota(interp, env, ctx, args, depth) -> Node:
+    """(iota n [start [step]]) — the list workloads are built from."""
+    values = eval_args(interp, env, ctx, args, depth)
+    n = as_int(values[0], "iota")
+    if n < 0:
+        raise EvalError("iota: negative count")
+    start = values[1].number if len(values) > 1 else 0
+    step = values[2].number if len(values) > 2 else 1
+    ctx.charge(Op.ALU, max(1, n))
+    items = [interp.arena.new_number(start + i * step, ctx) for i in range(n)]
+    return build_list(interp, items, ctx)
+
+
+def register(reg) -> None:
+    reg.add("mapcar", _mapcar, 2, None, "(mapcar fn list...) element-wise apply.")
+    reg.add("reduce", _reduce, 2, 3, "(reduce fn list [init]) left fold.")
+    reg.add("remove-if", _remove_if, 2, 2, "Drop elements satisfying the predicate.")
+    reg.add("find-if", _find_if, 2, 2, "First element satisfying the predicate.")
+    reg.add("count-if", _count_if, 2, 2, "Count elements satisfying the predicate.")
+    reg.add("sort", _sort, 1, 2, "Stable merge sort; optional less predicate.")
+    reg.add("nthcdr", _nthcdr, 2, 2, "Drop the first n elements (shared view).")
+    reg.add("subst", _subst, 3, 3, "(subst new old tree) structural replace.")
+    reg.add("iota", _iota, 1, 3, "(iota n [start [step]]) arithmetic sequence.")

@@ -1,0 +1,207 @@
+"""List builtins (paper: "lists are accessed in Lisp with variations of
+the functions car and cdr [so] linked lists are the natural data
+structure").
+
+CuLi lists are first/last-pointer node chains, not cons pairs: ``cdr``
+and ``member`` return structure-shared views (a fresh list head over the
+same element chain), which is O(1) like the paper's C implementation.
+There are no dotted pairs; ``cons`` onto a non-list is an error.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError, TypeMismatchError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import as_int, build_list, eval_args, list_items, nodes_equal, require_list
+
+__all__ = ["register"]
+
+
+def _car(interp, env, ctx, args, depth) -> Node:
+    (lst,) = eval_args(interp, env, ctx, args, depth)
+    if not lst.is_nil:
+        require_list(lst, "car")
+    ctx.charge(Op.NODE_READ)
+    if lst.is_nil or lst.first is None:
+        return interp.nil
+    return lst.first
+
+
+def _cdr(interp, env, ctx, args, depth) -> Node:
+    (lst,) = eval_args(interp, env, ctx, args, depth)
+    if lst.is_nil:
+        return interp.nil
+    require_list(lst, "cdr")
+    ctx.charge(Op.NODE_READ, 2)
+    if lst.first is None or lst.first.nxt is None:
+        return interp.nil
+    # Structure-shared tail: a fresh list head pointing into the chain.
+    view = interp.arena.alloc(NodeType.N_LIST, ctx)
+    ctx.charge(Op.NODE_WRITE, 2)
+    view.first = lst.first.nxt
+    view.last = lst.last
+    return view.seal()
+
+
+def _cons(interp, env, ctx, args, depth) -> Node:
+    head, tail = eval_args(interp, env, ctx, args, depth)
+    if not (tail.is_nil or tail.is_list_like):
+        raise TypeMismatchError(
+            "cons: CuLi lists are node chains, not pairs; the second "
+            f"argument must be a list or nil, got {tail.ntype.name}"
+        )
+    lst = interp.arena.alloc(NodeType.N_LIST, ctx)
+    ctx.charge(Op.NODE_WRITE, 3)
+    first = interp.linkable(head, ctx)
+    lst.append_child(first)
+    if not tail.is_nil and tail.first is not None:
+        # Share the tail's chain; only our fresh head node is rewired.
+        first.nxt = tail.first
+        lst.last = tail.last
+    return lst.seal()
+
+
+def _list(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    return build_list(interp, values, ctx)
+
+
+def _append(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    if not values:
+        return interp.nil
+    out = interp.arena.alloc(NodeType.N_LIST, ctx)
+    # All but the final list are copied element-wise; the final list's
+    # chain is shared (the classic Lisp append contract).
+    for lst in values[:-1]:
+        for item in list_items(lst, ctx, "append"):
+            ctx.charge(Op.NODE_WRITE, 2)
+            out.append_child(interp.copy_node(item, ctx))
+    final = values[-1]
+    if final.is_nil:
+        pass
+    elif final.is_list_like:
+        if final.first is not None:
+            ctx.charge(Op.NODE_WRITE, 2)
+            if out.last is None:
+                out.first = final.first
+            else:
+                out.last.nxt = final.first
+            out.last = final.last
+    else:
+        raise TypeMismatchError(f"append: expected a list, got {final.ntype.name}")
+    if out.first is None:
+        return interp.nil
+    return out.seal()
+
+
+def _length(interp, env, ctx, args, depth) -> Node:
+    (lst,) = eval_args(interp, env, ctx, args, depth)
+    if lst.ntype == NodeType.N_STRING:
+        ctx.charge(Op.CHAR_LOAD, len(lst.sval) + 1)
+        return interp.arena.new_int(len(lst.sval), ctx)
+    return interp.arena.new_int(len(list_items(lst, ctx, "length")), ctx)
+
+
+def _reverse(interp, env, ctx, args, depth) -> Node:
+    (lst,) = eval_args(interp, env, ctx, args, depth)
+    items = list_items(lst, ctx, "reverse")
+    return build_list(interp, reversed(items), ctx)
+
+
+def _nth(interp, env, ctx, args, depth) -> Node:
+    idx_node, lst = eval_args(interp, env, ctx, args, depth)
+    idx = as_int(idx_node, "nth")
+    if idx < 0:
+        raise EvalError("nth: negative index")
+    node = lst.first if (lst.is_list_like and not lst.is_nil) else None
+    ctx.charge(Op.NODE_READ)
+    while node is not None and idx > 0:
+        node = node.nxt
+        idx -= 1
+        ctx.charge(Op.NODE_READ)
+    return node if node is not None else interp.nil
+
+
+def _last(interp, env, ctx, args, depth) -> Node:
+    (lst,) = eval_args(interp, env, ctx, args, depth)
+    require_list(lst, "last")
+    ctx.charge(Op.NODE_READ)
+    # O(1) thanks to the last_child pointer (paper Fig. 2).
+    return lst.last if not lst.is_nil and lst.last is not None else interp.nil
+
+
+def _member(interp, env, ctx, args, depth) -> Node:
+    key, lst = eval_args(interp, env, ctx, args, depth)
+    node = lst.first if (lst.is_list_like and not lst.is_nil) else None
+    ctx.charge(Op.NODE_READ)
+    while node is not None:
+        if nodes_equal(key, node, ctx):
+            view = interp.arena.alloc(NodeType.N_LIST, ctx)
+            ctx.charge(Op.NODE_WRITE, 2)
+            view.first = node
+            view.last = lst.last
+            return view.seal()
+        node = node.nxt
+        ctx.charge(Op.NODE_READ)
+    return interp.nil
+
+
+def _assoc(interp, env, ctx, args, depth) -> Node:
+    key, table = eval_args(interp, env, ctx, args, depth)
+    for row in list_items(table, ctx, "assoc"):
+        ctx.charge(Op.NODE_READ)
+        if row.is_list_like and row.first is not None:
+            if nodes_equal(key, row.first, ctx):
+                return row
+    return interp.nil
+
+
+def _accessor(name: str, path: str) -> object:
+    """caar/cadr/cddr-style accessors; 'a' = first, 'd' = rest."""
+
+    def impl(interp, env, ctx, args, depth) -> Node:
+        (value,) = eval_args(interp, env, ctx, args, depth)
+        node = value
+        for step in reversed(path):
+            ctx.charge(Op.NODE_READ)
+            if node.is_nil or not node.is_list_like or node.first is None:
+                node = interp.nil  # car/cdr of nil is nil
+                continue
+            if step == "a":
+                node = node.first
+            else:  # 'd'
+                if node.first.nxt is None:
+                    node = interp.nil
+                else:
+                    view = interp.arena.alloc(NodeType.N_LIST, ctx)
+                    ctx.charge(Op.NODE_WRITE, 2)
+                    view.first = node.first.nxt
+                    view.last = node.last
+                    node = view.seal()
+        return node
+
+    return impl
+
+
+def register(reg) -> None:
+    reg.add("car", _car, 1, 1, "First element (nil for the empty list).")
+    reg.add("cdr", _cdr, 1, 1, "Rest of the list as a structure-shared view.")
+    reg.add("cons", _cons, 2, 2, "Prepend an element to a list.")
+    reg.add("list", _list, 0, None, "A fresh list of the evaluated arguments.")
+    reg.add("append", _append, 0, None, "Concatenate lists (final list shared).")
+    reg.add("length", _length, 1, 1, "List or string length.")
+    reg.add("reverse", _reverse, 1, 1, "A fresh reversed list.")
+    reg.add("nth", _nth, 2, 2, "Zero-based element access.")
+    reg.add("last", _last, 1, 1, "Last element (O(1) via the last pointer).")
+    reg.add("member", _member, 2, 2, "Sub-list starting at the first match.")
+    reg.add("assoc", _assoc, 2, 2, "First row whose head equals the key.")
+    reg.add("first", _accessor("first", "a"), 1, 1, "Alias of car.")
+    reg.add("rest", _accessor("rest", "d"), 1, 1, "Alias of cdr.")
+    reg.add("second", _accessor("second", "ad"), 1, 1, "(car (cdr x)).")
+    reg.add("third", _accessor("third", "add"), 1, 1, "(car (cdr (cdr x))).")
+    reg.add("caar", _accessor("caar", "aa"), 1, 1, "(car (car x)).")
+    reg.add("cadr", _accessor("cadr", "ad"), 1, 1, "(car (cdr x)).")
+    reg.add("cddr", _accessor("cddr", "dd"), 1, 1, "(cdr (cdr x)).")
+    reg.add("cdar", _accessor("cdar", "da"), 1, 1, "(cdr (car x)).")

@@ -1,0 +1,44 @@
+"""Short-circuit logic: and, or, not.
+
+``and``/``or`` receive unevaluated arguments and stop evaluating as soon
+as the result is decided — the short-circuit behaviour itself is why
+they must be builtins rather than forms.
+"""
+
+from __future__ import annotations
+
+from ...ops import Op
+from ..nodes import Node
+
+__all__ = ["register"]
+
+
+def _and(interp, env, ctx, args, depth) -> Node:
+    result = interp.true
+    for arg in args:
+        ctx.charge(Op.BRANCH)
+        result = interp.eval_node(arg, env, ctx, depth)
+        if not interp.truthy(result, ctx):
+            return interp.nil
+    return result
+
+
+def _or(interp, env, ctx, args, depth) -> Node:
+    for arg in args:
+        ctx.charge(Op.BRANCH)
+        result = interp.eval_node(arg, env, ctx, depth)
+        if interp.truthy(result, ctx):
+            return result
+    return interp.nil
+
+
+def _not(interp, env, ctx, args, depth) -> Node:
+    value = interp.eval_node(args[0], env, ctx, depth)
+    ctx.charge(Op.BRANCH)
+    return interp.arena.new_bool(not interp.truthy(value, ctx), ctx)
+
+
+def register(reg) -> None:
+    reg.add("and", _and, 0, None, "Short-circuit conjunction; returns last value or nil.")
+    reg.add("or", _or, 0, None, "Short-circuit disjunction; returns first truthy value.")
+    reg.add("not", _not, 1, 1, "Logical negation (nil -> T, else nil).")

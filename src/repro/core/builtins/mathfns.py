@@ -1,0 +1,69 @@
+"""Transcendental math builtins (device special-function units).
+
+GPUs execute these on SFUs; we charge an FDIV per call, which is in the
+right cost class for both device families.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import EvalError
+from ...ops import Op
+from ..nodes import Node
+from .helpers import as_number, eval_args
+
+__all__ = ["register"]
+
+_UNARY = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "asin": math.asin,
+    "acos": math.acos,
+    "atan": math.atan,
+    "exp": math.exp,
+    "log": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "tanh": math.tanh,
+}
+
+
+def _unary(name: str):
+    fn = _UNARY[name]
+
+    def impl(interp, env, ctx, args, depth) -> Node:
+        (node,) = eval_args(interp, env, ctx, args, depth)
+        value = as_number(node, name)
+        ctx.charge(Op.FDIV)
+        try:
+            result = fn(value)
+        except (ValueError, OverflowError) as exc:
+            raise EvalError(f"{name}: {exc}") from None
+        return interp.arena.new_float(result, ctx)
+
+    return impl
+
+
+def _atan2(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.FDIV)
+    return interp.arena.new_float(
+        math.atan2(as_number(a, "atan2"), as_number(b, "atan2")), ctx
+    )
+
+
+def register(reg) -> None:
+    for name in _UNARY:
+        reg.add(name, _unary(name), 1, 1, f"{name}(x) as a float.")
+    reg.add("atan2", _atan2, 2, 2, "atan2(y, x).")
+    # pi as a zero-argument builtin keeps the global env free of data
+    # entries the paper does not describe.
+    reg.add(
+        "pi",
+        lambda interp, env, ctx, args, depth: interp.arena.new_float(math.pi, ctx),
+        0,
+        0,
+        "The constant pi.",
+    )

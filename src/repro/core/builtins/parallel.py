@@ -1,0 +1,91 @@
+"""The ``|||`` parallel form (paper §III-D).
+
+"Such an expression is structured as follows: the first parameter after
+||| is an integer that defines the number of threads, the second
+parameter is the function to be executed in parallel, and the remaining
+parameters are the arguments of that function. ... A typical call could
+look like the following: (||| 3 + (1 2 3) (4 5 6)). The master thread
+will distribute the work among three workers. ... the first worker's
+expression is (+ 1 4), the second one's is (+ 2 5), and the third one's
+is (+ 3 6)."
+
+The builtin validates and slices the work; the actual distribution is
+delegated to the interpreter's *parallel engine* — the sequential engine
+evaluates rows in a loop, the GPU engine runs the postbox/warp machinery,
+the CPU engine runs a pthread-pool model. The master walks each argument
+list with a cursor (O(1) per job, not O(n) "n-th element" scans).
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError, TypeMismatchError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import build_list, require_list
+
+__all__ = ["register"]
+
+
+def _parallel(interp, env, ctx, args, depth) -> Node:
+    # -- worker count ----------------------------------------------------
+    n_node = interp.eval_node(args[0], env, ctx, depth)
+    if n_node.ntype != NodeType.N_INT:
+        raise TypeMismatchError("|||: thread count must be an integer")
+    n = n_node.ival
+    if n <= 0:
+        raise EvalError(f"|||: thread count must be positive, got {n}")
+
+    # -- the function ------------------------------------------------------
+    fn = interp.eval_node(args[1], env, ctx, depth)
+    if fn.ntype == NodeType.N_SYMBOL:
+        looked = env.lookup(fn.sval, ctx)
+        if looked is not None:
+            fn = looked
+    if not fn.is_callable:
+        raise TypeMismatchError(
+            f"|||: second argument must name a function, got {fn.ntype.name}"
+        )
+    if fn.ntype == NodeType.N_MACRO:
+        raise TypeMismatchError("|||: macros cannot be distributed to workers")
+
+    # -- argument lists, one per function parameter ------------------------
+    lists = []
+    for arg in args[2:]:
+        value = interp.eval_node(arg, env, ctx, depth)
+        require_list(value, "|||")
+        lists.append(value)
+
+    # Row slicing with per-list cursors: job i gets element i of each list.
+    cursors = [lst.first if not lst.is_nil else None for lst in lists]
+    ctx.charge(Op.NODE_READ, len(cursors))
+    rows: list[list[Node]] = []
+    for i in range(n):
+        row = []
+        for k, cursor in enumerate(cursors):
+            if cursor is None:
+                raise EvalError(
+                    f"|||: argument list {k + 1} has fewer than {n} elements"
+                )
+            row.append(cursor)
+            cursors[k] = cursor.nxt
+            ctx.charge(Op.NODE_READ)
+        rows.append(row)
+
+    results = interp.parallel_engine(interp, fn, rows, env, ctx, depth)
+    if len(results) != n:
+        raise EvalError(
+            f"|||: engine returned {len(results)} results for {n} jobs"
+        )
+    # "The master thread ... generates a new N_LIST node and appends the
+    # workers' results in the same order as the work was distributed."
+    return build_list(interp, results, ctx)
+
+
+def register(reg) -> None:
+    reg.add(
+        "|||",
+        _parallel,
+        2,
+        None,
+        "(||| n fn list1 ... listk): apply fn to row i of the lists on worker i.",
+    )

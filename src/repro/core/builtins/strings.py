@@ -1,0 +1,115 @@
+"""String builtins, built on CuLi's own string library (``repro.strlib``).
+
+Character work is charged like the underlying C loops: concatenation
+pays a load+store per copied character, case conversion pays an ALU per
+character, and conversions reuse the itoa/ftoa/atof routines.
+"""
+
+from __future__ import annotations
+
+from ...errors import EvalError, TypeMismatchError
+from ...ops import Op
+from ..nodes import Node, NodeType
+from ...strlib import format_float, format_int, parse_number, str_cmp
+from .helpers import as_int, as_string, eval_args
+
+__all__ = ["register"]
+
+
+def _string_append(interp, env, ctx, args, depth) -> Node:
+    parts = []
+    for node in eval_args(interp, env, ctx, args, depth):
+        text = as_string(node, "string-append")
+        ctx.charge(Op.CHAR_LOAD, len(text))
+        ctx.charge(Op.CHAR_STORE, len(text))
+        parts.append(text)
+    ctx.charge(Op.CHAR_STORE)  # terminator
+    return interp.arena.new_string("".join(parts), ctx)
+
+
+def _string_length(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    text = as_string(node, "string-length")
+    ctx.charge(Op.CHAR_LOAD, len(text) + 1)
+    return interp.arena.new_int(len(text), ctx)
+
+
+def _substring(interp, env, ctx, args, depth) -> Node:
+    values = eval_args(interp, env, ctx, args, depth)
+    text = as_string(values[0], "substring")
+    start = as_int(values[1], "substring")
+    end = as_int(values[2], "substring") if len(values) > 2 else len(text)
+    if start < 0 or end < start or end > len(text):
+        raise EvalError(f"substring: bad range [{start}, {end}) for length {len(text)}")
+    ctx.charge(Op.CHAR_LOAD, end - start)
+    ctx.charge(Op.CHAR_STORE, end - start + 1)
+    return interp.arena.new_string(text[start:end], ctx)
+
+
+def _string_eq(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    result = str_cmp(as_string(a, "string="), as_string(b, "string="), ctx) == 0
+    return interp.arena.new_bool(result, ctx)
+
+
+def _string_lt(interp, env, ctx, args, depth) -> Node:
+    a, b = eval_args(interp, env, ctx, args, depth)
+    result = str_cmp(as_string(a, "string<"), as_string(b, "string<"), ctx) < 0
+    return interp.arena.new_bool(result, ctx)
+
+
+def _symbol_name(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    if node.ntype != NodeType.N_SYMBOL:
+        raise TypeMismatchError(f"symbol-name: expected a symbol, got {node.ntype.name}")
+    ctx.charge(Op.CHAR_LOAD, len(node.sval))
+    ctx.charge(Op.CHAR_STORE, len(node.sval) + 1)
+    return interp.arena.new_string(node.sval, ctx)
+
+
+def _case(which: str):
+    def impl(interp, env, ctx, args, depth) -> Node:
+        (node,) = eval_args(interp, env, ctx, args, depth)
+        text = as_string(node, which)
+        ctx.charge(Op.CHAR_LOAD, len(text))
+        ctx.charge(Op.ALU, len(text))
+        ctx.charge(Op.CHAR_STORE, len(text) + 1)
+        out = text.upper() if which == "string-upcase" else text.lower()
+        return interp.arena.new_string(out, ctx)
+
+    return impl
+
+
+def _number_to_string(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    if node.ntype == NodeType.N_INT:
+        text = format_int(node.ival, ctx)
+    elif node.ntype == NodeType.N_FLOAT:
+        text = format_float(node.fval, ctx)
+    else:
+        raise TypeMismatchError("number-to-string: expected a number")
+    ctx.charge(Op.CHAR_STORE, len(text) + 1)
+    return interp.arena.new_string(text, ctx)
+
+
+def _string_to_number(interp, env, ctx, args, depth) -> Node:
+    (node,) = eval_args(interp, env, ctx, args, depth)
+    text = as_string(node, "string-to-number")
+    ctx.charge(Op.CHAR_LOAD, len(text))
+    value = parse_number(text, ctx)
+    if value is None:
+        return interp.nil
+    return interp.arena.new_number(value, ctx)
+
+
+def register(reg) -> None:
+    reg.add("string-append", _string_append, 0, None, "Concatenate strings.")
+    reg.add("string-length", _string_length, 1, 1, "Length of a string.")
+    reg.add("substring", _substring, 2, 3, "(substring s start [end]).")
+    reg.add("string=", _string_eq, 2, 2, "String equality.")
+    reg.add("string<", _string_lt, 2, 2, "Lexicographic less-than.")
+    reg.add("symbol-name", _symbol_name, 1, 1, "Symbol's name as a string.")
+    reg.add("string-upcase", _case("string-upcase"), 1, 1, "Upper-case copy.")
+    reg.add("string-downcase", _case("string-downcase"), 1, 1, "Lower-case copy.")
+    reg.add("number-to-string", _number_to_string, 1, 1, "Format a number.")
+    reg.add("string-to-number", _string_to_number, 1, 1, "Parse a number or nil.")

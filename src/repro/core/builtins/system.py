@@ -1,0 +1,53 @@
+"""Introspection builtins: type-of, room (arena statistics), and
+builtin-count — handy for the paper's "size of possible inputs is
+limited" behaviour, which users can observe from inside CuLi.
+"""
+
+from __future__ import annotations
+
+from ...ops import Op
+from ..nodes import Node, NodeType
+from .helpers import eval_args
+
+__all__ = ["register"]
+
+_TYPE_NAMES = {
+    NodeType.N_NIL: "nil",
+    NodeType.N_TRUE: "boolean",
+    NodeType.N_INT: "integer",
+    NodeType.N_FLOAT: "float",
+    NodeType.N_STRING: "string",
+    NodeType.N_SYMBOL: "symbol",
+    NodeType.N_FUNCTION: "function",
+    NodeType.N_LIST: "list",
+    NodeType.N_EXPRESSION: "expression",
+    NodeType.N_FORM: "form",
+    NodeType.N_MACRO: "macro",
+}
+
+
+def _type_of(interp, env, ctx, args, depth) -> Node:
+    (value,) = eval_args(interp, env, ctx, args, depth)
+    ctx.charge(Op.NODE_READ)
+    return interp.arena.new_symbol(_TYPE_NAMES[value.ntype], ctx)
+
+
+def _room(interp, env, ctx, args, depth) -> Node:
+    arena = interp.arena
+    text = (
+        f"nodes used {arena.used}/{arena.capacity} "
+        f"(peak {arena.stats.peak_used}, allocs {arena.stats.allocs}, "
+        f"frees {arena.stats.frees})"
+    )
+    ctx.charge(Op.CHAR_STORE, len(text))
+    return interp.arena.new_string(text, ctx)
+
+
+def _builtin_count(interp, env, ctx, args, depth) -> Node:
+    return interp.arena.new_int(len(interp.registry), ctx)
+
+
+def register(reg) -> None:
+    reg.add("type-of", _type_of, 1, 1, "Type name of the value, as a symbol.")
+    reg.add("room", _room, 0, 0, "Node-arena usage report, as a string.")
+    reg.add("builtin-count", _builtin_count, 0, 0, "Number of installed builtins.")

@@ -1,0 +1,140 @@
+"""Environment trees (paper §III-B-a, Figs. 6/7).
+
+"An environment contains a linked list of environment nodes and a link to
+a parent environment. The only exception is the global environment ...
+Each environment node itself contains a symbol for comparison and the
+node that the symbol points to."
+
+Lookup walks the local entry list (strcmp per entry), then the parent —
+so values in the global environment are reachable from everywhere, and
+the *first* occurrence shadows outer ones. ``define`` (used by ``let``,
+``defun``, parameter binding) prepends locally; ``set_nearest`` (used by
+``setq``) mutates the closest existing binding, the paper's one
+deliberate side-effect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..context import ExecContext
+from ..ops import Op
+from ..strlib import str_cmp
+from .nodes import Node
+
+__all__ = ["EnvEntry", "Environment"]
+
+
+class EnvEntry:
+    """One (symbol -> node) binding in an environment's linked list."""
+
+    __slots__ = ("symbol", "node", "nxt")
+
+    def __init__(self, symbol: str, node: Node, nxt: Optional["EnvEntry"]) -> None:
+        self.symbol = symbol
+        self.node = node
+        self.nxt = nxt
+
+
+class Environment:
+    """A linked-list scope with a parent pointer."""
+
+    __slots__ = ("head", "parent", "label")
+
+    def __init__(self, parent: Optional["Environment"] = None, label: str = "") -> None:
+        self.head: Optional[EnvEntry] = None
+        self.parent = parent
+        self.label = label
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def is_global(self) -> bool:
+        return self.parent is None
+
+    def global_env(self) -> "Environment":
+        env: Environment = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+    def depth(self) -> int:
+        d = 0
+        env = self.parent
+        while env is not None:
+            d += 1
+            env = env.parent
+        return d
+
+    def entries(self) -> Iterator[EnvEntry]:
+        entry = self.head
+        while entry is not None:
+            yield entry
+            entry = entry.nxt
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    # -- operations -------------------------------------------------------------
+
+    def define(self, symbol: str, node: Node, ctx: ExecContext) -> None:
+        """Prepend a binding in *this* environment (shadows outer ones).
+
+        Environment nodes are structs in device memory: allocating and
+        wiring one costs an allocation plus two field writes.
+        """
+        ctx.charge(Op.NODE_ALLOC)
+        ctx.charge(Op.NODE_WRITE, 2)
+        self.head = EnvEntry(symbol, node, self.head)
+
+    def lookup(self, symbol: str, ctx: ExecContext) -> Optional[Node]:
+        """First matching binding along the environment chain, else None.
+
+        Every visited entry costs one ``ENV_STEP`` (pointer chase) plus a
+        strcmp against the stored symbol.
+        """
+        env: Optional[Environment] = self
+        while env is not None:
+            entry = env.head
+            while entry is not None:
+                ctx.charge(Op.ENV_STEP)
+                if str_cmp(entry.symbol, symbol, ctx) == 0:
+                    return entry.node
+                entry = entry.nxt
+            env = env.parent
+        return None
+
+    def lookup_local(self, symbol: str, ctx: ExecContext) -> Optional[Node]:
+        """Match in this environment only (no parent walk)."""
+        entry = self.head
+        while entry is not None:
+            ctx.charge(Op.ENV_STEP)
+            if str_cmp(entry.symbol, symbol, ctx) == 0:
+                return entry.node
+            entry = entry.nxt
+        return None
+
+    def set_nearest(self, symbol: str, node: Node, ctx: ExecContext) -> bool:
+        """setq: update the nearest existing binding.
+
+        Returns True if an existing binding was updated. If no binding
+        exists anywhere, the paper stores the symbol in the *global*
+        environment (so it persists across REPL inputs); we do the same
+        and return False.
+        """
+        env: Optional[Environment] = self
+        while env is not None:
+            entry = env.head
+            while entry is not None:
+                ctx.charge(Op.ENV_STEP)
+                if str_cmp(entry.symbol, symbol, ctx) == 0:
+                    ctx.charge(Op.NODE_WRITE)
+                    entry.node = node
+                    return True
+                entry = entry.nxt
+            env = env.parent
+        self.global_env().define(symbol, node, ctx)
+        return False
+
+    def child(self, label: str = "") -> "Environment":
+        return Environment(parent=self, label=label)

@@ -1,0 +1,227 @@
+"""The CuLi evaluator (paper §III-B-c).
+
+"The parse tree is traversed recursively by the evaluation stage."
+
+Dispatch rules, following the paper exactly:
+
+* ``N_LIST`` — evaluate the first element to decide whether the list is
+  an expression (head resolves to a built-in ``N_FUNCTION``), a form
+  (head resolves to a user-defined ``N_FORM``), or a macro. If none of
+  these, *all* elements are evaluated and the resulting list is returned
+  (this is how the literal argument lists of ``|||`` work). An empty
+  list evaluates to nil.
+* ``N_SYMBOL`` — the first occurrence along the environment chain
+  replaces the symbol (late binding); an unmatched symbol is returned
+  unchanged.
+* expressions — children are handed to the function pointer
+  **unevaluated** "since built-in functions might use them without
+  evaluation (e.g. the setq function)".
+* forms — a new environment stores the evaluated arguments under the
+  parameter symbols; the stored body evaluates within it. The parent of
+  that environment is the *call-site* environment (dynamic scope — see
+  DESIGN.md).
+* primitives — returned unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..context import ExecContext
+from ..errors import ArityError, EvalError, RecursionDepthError
+from ..ops import Op
+from .environment import Environment
+from .nodes import Node, NodeType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    def __init__(self, interp: "Interpreter") -> None:
+        self.interp = interp
+
+    # -- main dispatch -----------------------------------------------------------
+
+    def eval(self, node: Node, env: Environment, ctx: ExecContext, depth: int = 0) -> Node:
+        if depth > ctx.max_depth:
+            raise RecursionDepthError(
+                f"evaluation exceeded device stack depth ({ctx.max_depth})"
+            )
+        ctx.charge(Op.CALL)
+        ctx.charge(Op.NODE_READ)  # load the node's type tag
+        ctx.charge(Op.BRANCH, 2)  # type dispatch
+        ntype = node.ntype
+
+        if ntype == NodeType.N_SYMBOL:
+            found = env.lookup(node.sval, ctx)
+            if found is None:
+                return node  # late binding: unmatched symbols stay
+            return found
+
+        if ntype == NodeType.N_LIST or ntype == NodeType.N_EXPRESSION:
+            return self._eval_list(node, env, ctx, depth)
+
+        # Primitives (numbers, strings, nil, T, functions, forms) are
+        # self-evaluating.
+        return node
+
+    # -- list / call handling -------------------------------------------------------
+
+    def _eval_list(self, node: Node, env: Environment, ctx: ExecContext, depth: int) -> Node:
+        interp = self.interp
+        head = node.first
+        ctx.charge(Op.NODE_READ)
+        if head is None:
+            # The empty list evaluates to nil (a false condition).
+            return interp.nil
+
+        # Evaluate the first element to find out what this list is.
+        head_value = self.eval(head, env, ctx, depth + 1)
+        ctx.charge(Op.BRANCH)
+        head_type = head_value.ntype
+
+        if head_type == NodeType.N_FUNCTION:
+            # Paper Fig. 3: the list becomes an expression whose children
+            # are passed *unevaluated* to the function pointer.
+            args = self._collect_args(head, ctx)
+            fn = head_value.fn
+            assert fn is not None
+            fn.check_arity(len(args))
+            return fn.call(interp, env, ctx, args, depth + 1)
+
+        if head_type == NodeType.N_FORM:
+            args = self._collect_args(head, ctx)
+            return self.apply_form(head_value, args, env, ctx, depth + 1)
+
+        if head_type == NodeType.N_MACRO:
+            args = self._collect_args(head, ctx)
+            expansion = self.expand_macro(head_value, args, env, ctx, depth + 1)
+            return self.eval(expansion, env, ctx, depth + 1)
+
+        # Not a call: evaluate every element, return the resulting list.
+        result = interp.arena.alloc(NodeType.N_LIST, ctx)
+        ctx.charge(Op.NODE_WRITE, 2)
+        result.append_child(self._reference(head_value, ctx))
+        child = head.nxt
+        ctx.charge(Op.NODE_READ)
+        while child is not None:
+            value = self.eval(child, env, ctx, depth + 1)
+            ctx.charge(Op.NODE_WRITE, 2)
+            result.append_child(self._reference(value, ctx))
+            child = child.nxt
+            ctx.charge(Op.NODE_READ)
+        return result.seal()
+
+    def _reference(self, node: Node, ctx: ExecContext) -> Node:
+        """Prepare ``node`` for linking into a new list: nodes that are
+        already members of some list are shallow-copied (copy-on-link),
+        because the sibling chain of an immutable node cannot be reused.
+        """
+        if node.linked:
+            return self.interp.copy_node(node, ctx)
+        return node
+
+    def _collect_args(self, head: Node, ctx: ExecContext) -> list[Node]:
+        """Walk the sibling chain after the head; one load per link."""
+        args: list[Node] = []
+        child = head.nxt
+        ctx.charge(Op.NODE_READ)
+        while child is not None:
+            args.append(child)
+            child = child.nxt
+            ctx.charge(Op.NODE_READ)
+        return args
+
+    # -- forms -------------------------------------------------------------------
+
+    def apply_form(
+        self,
+        form: Node,
+        args: list[Node],
+        env: Environment,
+        ctx: ExecContext,
+        depth: int,
+    ) -> Node:
+        """Apply a user-defined function (paper: N_FORM evaluation).
+
+        "If a form is evaluated, it adds the given arguments to the local
+        environment and evaluates the stored subtree with this
+        environment."
+        """
+        params = list(form.params.children()) if form.params is not None else []
+        ctx.charge(Op.NODE_READ, len(params) + 1)
+        if len(args) != len(params):
+            name = form.sval or "<lambda>"
+            raise ArityError(
+                f"{name} expects {len(params)} argument(s), got {len(args)}"
+            )
+        local = Environment(parent=env, label=form.sval or "lambda")
+        ctx.charge(Op.NODE_ALLOC)  # the environment struct itself
+        for param, arg in zip(params, args):
+            value = self.eval(arg, env, ctx, depth + 1)
+            local.define(param.sval, value, ctx)
+        return self._eval_body(form, local, ctx, depth)
+
+    def apply_form_prevaluated(
+        self,
+        form: Node,
+        values: list[Node],
+        env: Environment,
+        ctx: ExecContext,
+        depth: int,
+    ) -> Node:
+        """Apply a form to already-evaluated values (funcall / apply)."""
+        params = list(form.params.children()) if form.params is not None else []
+        ctx.charge(Op.NODE_READ, len(params) + 1)
+        if len(values) != len(params):
+            name = form.sval or "<lambda>"
+            raise ArityError(
+                f"{name} expects {len(params)} argument(s), got {len(values)}"
+            )
+        local = Environment(parent=env, label=form.sval or "lambda")
+        ctx.charge(Op.NODE_ALLOC)
+        for param, value in zip(params, values):
+            local.define(param.sval, value, ctx)
+        return self._eval_body(form, local, ctx, depth)
+
+    def _eval_body(
+        self, form: Node, local: Environment, ctx: ExecContext, depth: int
+    ) -> Node:
+        result = self.interp.nil
+        body = form.first
+        ctx.charge(Op.NODE_READ)
+        if body is None:
+            raise EvalError(f"form {form.sval or '<lambda>'} has an empty body")
+        while body is not None:
+            result = self.eval(body, local, ctx, depth + 1)
+            body = body.nxt
+            ctx.charge(Op.NODE_READ)
+        return result
+
+    # -- macros ------------------------------------------------------------------
+
+    def expand_macro(
+        self,
+        macro: Node,
+        args: list[Node],
+        env: Environment,
+        ctx: ExecContext,
+        depth: int,
+    ) -> Node:
+        """Bind *unevaluated* argument forms, evaluate the macro body once;
+        the result is the expansion (evaluated by the caller)."""
+        params = list(macro.params.children()) if macro.params is not None else []
+        ctx.charge(Op.NODE_READ, len(params) + 1)
+        if len(args) != len(params):
+            name = macro.sval or "<macro>"
+            raise ArityError(
+                f"{name} expects {len(params)} argument(s), got {len(args)}"
+            )
+        local = Environment(parent=env, label=f"macro:{macro.sval}")
+        ctx.charge(Op.NODE_ALLOC)
+        for param, arg in zip(params, args):
+            local.define(param.sval, arg, ctx)
+        return self._eval_body(macro, local, ctx, depth)

@@ -1,0 +1,83 @@
+"""Node reclamation (paper §III-A-c: "When the nodes are not needed
+anymore, they are marked as free").
+
+CuLi's environment is persistent across REPL commands, so everything
+reachable from the global environment — defun'd forms, setq'd values,
+their sub-trees — must survive; everything else (the command's parse
+tree, evaluation temporaries, the printed result) is garbage once the
+output string has left the device.
+
+We implement "marking free" as an explicit mark-sweep pass that the
+device runs between commands: mark from the global environment (entries,
+their value nodes, child chains, parameter lists) plus the interpreter
+singletons, then sweep every unmarked allocated node back to the free
+list. The paper's C implementation frees nodes opportunistically during
+evaluation; end-of-command collection is our documented deviation — the
+observable behaviour (a bounded arena that does not leak across
+commands) is the same, and the cost is charged outside the three kernel
+phases the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .nodes import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+    from .interpreter import Interpreter
+
+__all__ = ["mark_reachable", "collect_garbage"]
+
+
+def mark_reachable(roots: list[Node]) -> set[Node]:
+    """Every node reachable from ``roots`` through list structure
+    (first/nxt chains), parameter lists, and form bodies."""
+    marked: set[Node] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in marked:
+            continue
+        marked.add(node)
+        if node.first is not None:
+            stack.append(node.first)
+        if node.nxt is not None:
+            stack.append(node.nxt)
+        if node.params is not None:
+            stack.append(node.params)
+        # node.last is always on the first/nxt chain — no separate visit,
+        # except for structure-shared views whose chain was truncated
+        # (cdr views share a chain that continues past their own last).
+    return marked
+
+
+def _environment_roots(env: "Environment") -> list[Node]:
+    roots: list[Node] = []
+    seen = set()
+    cursor = env
+    while cursor is not None and id(cursor) not in seen:
+        seen.add(id(cursor))
+        for entry in cursor.entries():
+            roots.append(entry.node)
+        cursor = cursor.parent  # type: ignore[assignment]
+    return roots
+
+
+def collect_garbage(interp: "Interpreter") -> int:
+    """Sweep every node unreachable from the global environment.
+
+    Returns the number of nodes freed. Runs uncharged (between-command
+    housekeeping, outside the paper's kernel phases).
+    """
+    roots = _environment_roots(interp.global_env)
+    roots.append(interp.nil)
+    roots.append(interp.true)
+    marked = mark_reachable(roots)
+    freed = 0
+    for node in interp.arena.allocated_nodes():
+        if node not in marked:
+            interp.arena.free(node)
+            freed += 1
+    return freed

@@ -1,0 +1,228 @@
+"""The CuLi interpreter: arena + global environment + builtins + the
+parse/eval/print execution flow (paper Fig. 5).
+
+The interpreter is device-agnostic. All timing flows through the
+:class:`~repro.context.ExecContext` it is handed, and parallel execution
+(`|||`) is delegated to a pluggable *parallel engine* — sequential by
+default, replaced by the device back-ends.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..context import ExecContext, NullContext
+from ..errors import EvalError
+from ..gpu.memory import OutputBuffer, SourceBuffer
+from ..ops import Op, Phase
+from .arena import NodeArena
+from .builtins import BuiltinRegistry, install_all
+from .environment import Environment
+from .evaluator import Evaluator
+from .nodes import Node, NodeType
+from .printer import Printer
+from .reader import Parser
+
+__all__ = ["Interpreter", "InterpreterOptions", "sequential_engine"]
+
+#: engine(interp, fn_node, rows, env, ctx, depth) -> list of result nodes
+ParallelEngine = Callable[..., list]
+
+
+def sequential_engine(interp: "Interpreter", fn: Node, rows: list[list[Node]],
+                      env: Environment, ctx: ExecContext, depth: int) -> list[Node]:
+    """Fallback ||| engine: evaluate each worker's job in a loop.
+
+    Each job still gets its own environment chained to the ``|||``
+    expression's environment, exactly like a real worker (paper: "The
+    root of this subtree is linked to the environment of the
+    |||-expression").
+    """
+    results = []
+    for row in rows:
+        local = env.child(label="worker")
+        ctx.charge(Op.NODE_ALLOC)
+        results.append(interp.apply_callable(fn, row, local, ctx, depth))
+    return results
+
+
+@dataclass
+class InterpreterOptions:
+    """Tunables; defaults follow the paper where it specifies behaviour."""
+
+    arena_capacity: int = NodeArena.DEFAULT_CAPACITY
+    atomic_arena_cursor: bool = False   #: ablation: shared-cursor allocation
+    quote_sugar: bool = True            #: 'x reader shorthand (extension)
+    max_loop_iterations: int = 1_000_000
+    gc_after_command: bool = True       #: reclaim unreachable nodes between commands
+
+
+class Interpreter:
+    """One persistent CuLi instance (the environment survives commands —
+    "the successively created environment on the GPU is persistent until
+    the interpreter is terminated")."""
+
+    def __init__(
+        self,
+        options: Optional[InterpreterOptions] = None,
+        setup_ctx: Optional[ExecContext] = None,
+    ) -> None:
+        self.options = options or InterpreterOptions()
+        self.arena = NodeArena(
+            capacity=self.options.arena_capacity,
+            atomic_cursor=self.options.atomic_arena_cursor,
+        )
+        self.registry: BuiltinRegistry = install_all(BuiltinRegistry())
+        self.global_env = Environment(label="global")
+        self.evaluator = Evaluator(self)
+        self.parallel_engine: ParallelEngine = sequential_engine
+        # File I/O backend; devices replace this with the message-buffer
+        # protocol link (repro.gpu.fileio.FileServiceLink).
+        from ..gpu.fileio import InMemoryFileService
+
+        self.file_service = InMemoryFileService()
+        self._output_stack: list[OutputBuffer] = []
+        # Deep Lisp recursion nests several Python frames per level.
+        if sys.getrecursionlimit() < 100_000:
+            sys.setrecursionlimit(100_000)
+        ctx = setup_ctx if setup_ctx is not None else NullContext()
+        self.nil = self.arena.new_nil(ctx)
+        self.true = self.arena.new_true(ctx)
+        # Never link the singletons into lists directly; copy-on-link.
+        self.nil.linked = True
+        self.true.linked = True
+        self._install_globals(ctx)
+
+    # -- setup ------------------------------------------------------------------
+
+    def _install_globals(self, ctx: ExecContext) -> None:
+        """Build the global environment (master thread's startup job:
+        "The master thread ... sets up the global environment used by
+        all worker threads")."""
+        for builtin in self.registry:
+            node = self.arena.alloc(NodeType.N_FUNCTION, ctx)
+            ctx.charge(Op.NODE_WRITE, 2)
+            node.set_str(builtin.name).set_fn(builtin).seal()
+            self.global_env.define(builtin.name, node, ctx)
+
+    # -- node utilities ------------------------------------------------------------
+
+    def copy_node(self, node: Node, ctx: ExecContext) -> Node:
+        """Shallow copy: value fields and child pointers are copied, the
+        child chain itself is shared (immutable)."""
+        clone = self.arena.alloc(node.ntype, ctx)
+        ctx.charge(Op.NODE_READ)
+        ctx.charge(Op.NODE_WRITE, 3)
+        clone.ival = node.ival
+        clone.fval = node.fval
+        clone.sval = node.sval
+        clone.fn = node.fn
+        clone.first = node.first
+        clone.last = node.last
+        clone.params = node.params
+        return clone.seal()
+
+    def linkable(self, node: Node, ctx: ExecContext) -> Node:
+        """A node safe to append to a list (copy-on-link)."""
+        if node.linked:
+            return self.copy_node(node, ctx)
+        return node
+
+    def truthy(self, node: Node, ctx: ExecContext) -> bool:
+        """nil and the empty list are false; everything else is true."""
+        ctx.charge(Op.BRANCH)
+        if node.ntype == NodeType.N_NIL:
+            return False
+        if node.is_list_like and node.first is None:
+            return False
+        return True
+
+    # -- evaluation entry points ------------------------------------------------------
+
+    def eval_node(self, node: Node, env: Environment, ctx: ExecContext,
+                  depth: int = 0) -> Node:
+        return self.evaluator.eval(node, env, ctx, depth)
+
+    def apply_callable(self, fn: Node, values: list[Node], env: Environment,
+                       ctx: ExecContext, depth: int) -> Node:
+        """Apply a function/form to already-evaluated values."""
+        if fn.ntype == NodeType.N_FUNCTION:
+            builtin = fn.fn
+            assert builtin is not None
+            builtin.check_arity(len(values))
+            return builtin.call(self, env, ctx, values, depth)
+        if fn.ntype == NodeType.N_FORM:
+            return self.evaluator.apply_form_prevaluated(fn, values, env, ctx, depth)
+        if fn.ntype == NodeType.N_MACRO:
+            expansion = self.evaluator.expand_macro(fn, values, env, ctx, depth)
+            return self.eval_node(expansion, env, ctx, depth)
+        raise EvalError(f"cannot apply {fn.ntype.name}")
+
+    # -- output plumbing (print/princ builtins) ------------------------------------------
+
+    def push_output(self, out: OutputBuffer) -> None:
+        self._output_stack.append(out)
+
+    def pop_output(self) -> OutputBuffer:
+        return self._output_stack.pop()
+
+    def current_output(self, ctx: ExecContext) -> OutputBuffer:
+        if not self._output_stack:
+            scratch = OutputBuffer()
+            scratch.bind(ctx)
+            self._output_stack.append(scratch)
+        return self._output_stack[-1]
+
+    def printer_for(self, ctx: ExecContext) -> Printer:
+        return Printer(ctx)
+
+    # -- the paper's execution flow (Fig. 5) ------------------------------------------
+
+    def process(
+        self,
+        source: str | SourceBuffer,
+        ctx: ExecContext,
+        out: Optional[OutputBuffer] = None,
+        env: Optional[Environment] = None,
+    ) -> str:
+        """parse -> eval -> print one REPL command; returns the output.
+
+        Phase charging follows the paper's kernel-time decomposition:
+        everything inside the parser is PARSE, evaluation (including
+        ``|||`` distribution and collection) is EVAL, and result
+        formatting is PRINT.
+        """
+        # Explicit None check: an Environment with no bindings is falsy
+        # (it has __len__) but is still a legitimate scope.
+        env = env if env is not None else self.global_env
+        if out is None:
+            out = OutputBuffer()
+        out.bind(ctx)
+
+        ctx.set_phase(Phase.PARSE)
+        parser = Parser(self, ctx)
+        forms = parser.parse(source)
+
+        ctx.set_phase(Phase.EVAL)
+        self.push_output(out)
+        try:
+            results = [self.eval_node(form, env, ctx, 0) for form in forms]
+        finally:
+            self.pop_output()
+
+        ctx.set_phase(Phase.PRINT)
+        printer = Printer(ctx)
+        for i, result in enumerate(results):
+            if i:
+                out.append(" ")
+            printer.print_node(result, out, readable=True)
+        ctx.set_phase(Phase.OTHER)
+        return out.getvalue()
+
+    def collect_garbage(self) -> int:
+        """Reclaim nodes unreachable from the global environment."""
+        from .gc import collect_garbage
+
+        return collect_garbage(self)

@@ -1,0 +1,216 @@
+"""CuLi nodes (paper §III-A, Figs. 1-4).
+
+"The most basic structure of CuLi is the node, implemented as a C struct.
+Such a node stores values, functions and links to other nodes. After a
+value has been assigned to a node, it becomes immutable."
+
+Node layout here mirrors the paper's struct: a type tag, value fields
+(int/float/string/function pointer), child pointers (``first``/``last``)
+for list-like nodes, a sibling pointer (``nxt``) chaining children, and —
+for forms/macros — a parameter list. Nodes are sealed after construction;
+mutating a sealed node raises :class:`~repro.errors.ImmutabilityError`.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+from ..errors import ImmutabilityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .builtins import BuiltinFunction
+
+__all__ = ["NodeType", "Node", "NODE_BYTES"]
+
+#: Simulated size of one node struct in device memory (for addressing).
+NODE_BYTES = 64
+
+
+class NodeType(IntEnum):
+    """The paper's node types, plus N_MACRO for its macro support."""
+
+    N_NIL = 0         #: the false value / empty list
+    N_TRUE = 1        #: the true value
+    N_INT = 2
+    N_FLOAT = 3
+    N_STRING = 4
+    N_SYMBOL = 5
+    N_FUNCTION = 6    #: built-in function (function pointer)
+    N_LIST = 7        #: linked list of child nodes
+    N_EXPRESSION = 8  #: list whose head resolved to a built-in
+    N_FORM = 9        #: user-defined function (defun / lambda)
+    N_MACRO = 10      #: user-defined macro (defmacro)
+
+
+_PRIMITIVE_TYPES = frozenset(
+    {
+        NodeType.N_NIL,
+        NodeType.N_TRUE,
+        NodeType.N_INT,
+        NodeType.N_FLOAT,
+        NodeType.N_STRING,
+        NodeType.N_SYMBOL,
+        NodeType.N_FUNCTION,
+    }
+)
+
+_LIST_TYPES = frozenset({NodeType.N_LIST, NodeType.N_EXPRESSION})
+
+
+class Node:
+    """One CuLi node. Construct through :class:`~repro.core.arena.NodeArena`."""
+
+    __slots__ = (
+        "idx",
+        "ntype",
+        "ival",
+        "fval",
+        "sval",
+        "fn",
+        "first",
+        "last",
+        "nxt",
+        "params",
+        "sealed",
+        "linked",
+    )
+
+    def __init__(self, idx: int, ntype: NodeType) -> None:
+        self.idx = idx
+        self.ntype = ntype
+        self.ival: int = 0
+        self.fval: float = 0.0
+        self.sval: str = ""
+        self.fn: Optional["BuiltinFunction"] = None
+        self.first: Optional[Node] = None
+        self.last: Optional[Node] = None
+        self.nxt: Optional[Node] = None
+        self.params: Optional[Node] = None
+        self.sealed = False
+        #: True once this node has been placed in some list — linking it
+        #: into another list would corrupt the first one's sibling chain,
+        #: so list builders copy linked nodes (copy-on-link).
+        self.linked = False
+
+    # -- mutation (pre-seal only) -------------------------------------------
+
+    def _guard(self) -> None:
+        if self.sealed:
+            raise ImmutabilityError(
+                f"node #{self.idx} ({self.ntype.name}) is sealed and immutable"
+            )
+
+    def seal(self) -> "Node":
+        self.sealed = True
+        return self
+
+    def set_int(self, value: int) -> "Node":
+        self._guard()
+        self.ival = value
+        return self
+
+    def set_float(self, value: float) -> "Node":
+        self._guard()
+        self.fval = value
+        return self
+
+    def set_str(self, value: str) -> "Node":
+        self._guard()
+        self.sval = value
+        return self
+
+    def set_fn(self, fn: "BuiltinFunction") -> "Node":
+        self._guard()
+        self.fn = fn
+        return self
+
+    def set_params(self, params: "Node") -> "Node":
+        self._guard()
+        self.params = params
+        return self
+
+    def append_child(self, child: "Node") -> "Node":
+        """Append ``child`` to this list-like node (updates first/last).
+
+        The child's ``nxt`` pointer is claimed by this list — a node can
+        belong to at most one unsealed list at a time.
+        """
+        self._guard()
+        if self.first is None:
+            self.first = child
+            self.last = child
+        else:
+            assert self.last is not None
+            # The previous tail's sibling pointer is list wiring, not node
+            # content, so extending an open list may set it even though
+            # the tail node's own value is already fixed.
+            self.last.nxt = child
+            self.last = child
+        child.nxt = None
+        child.linked = True
+        return self
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.ntype in _PRIMITIVE_TYPES
+
+    @property
+    def is_list_like(self) -> bool:
+        return self.ntype in _LIST_TYPES
+
+    @property
+    def is_callable(self) -> bool:
+        return self.ntype in (NodeType.N_FUNCTION, NodeType.N_FORM, NodeType.N_MACRO)
+
+    @property
+    def is_nil(self) -> bool:
+        return self.ntype == NodeType.N_NIL
+
+    @property
+    def is_truthy(self) -> bool:
+        """nil is false; everything else (including 0 and ()) is true.
+
+        The paper: "empty lists and false conditions evaluate to nil...
+        Non-empty lists and fulfilled conditions evaluate to true."
+        An empty N_LIST *evaluates* to nil; as a raw datum it is truthy
+        only if it is not nil itself.
+        """
+        return self.ntype != NodeType.N_NIL
+
+    def children(self) -> Iterator["Node"]:
+        """Iterate the child chain (uncharged; callers charge NODE_READ)."""
+        child = self.first
+        while child is not None:
+            yield child
+            child = child.nxt
+
+    def child_count(self) -> int:
+        return sum(1 for _ in self.children())
+
+    @property
+    def addr(self) -> int:
+        """Simulated device address of this node (for the cache model)."""
+        return self.idx * NODE_BYTES
+
+    @property
+    def number(self) -> int | float:
+        if self.ntype == NodeType.N_INT:
+            return self.ival
+        if self.ntype == NodeType.N_FLOAT:
+            return self.fval
+        raise TypeError(f"node #{self.idx} ({self.ntype.name}) is not a number")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        detail = ""
+        if self.ntype == NodeType.N_INT:
+            detail = f"={self.ival}"
+        elif self.ntype == NodeType.N_FLOAT:
+            detail = f"={self.fval}"
+        elif self.ntype in (NodeType.N_SYMBOL, NodeType.N_STRING):
+            detail = f"={self.sval!r}"
+        elif self.ntype in (NodeType.N_FORM, NodeType.N_MACRO, NodeType.N_FUNCTION):
+            detail = f"={self.sval or '<anon>'}"
+        return f"<Node#{self.idx} {self.ntype.name}{detail}>"

@@ -1,0 +1,76 @@
+"""The CuLi prelude: a standard library written in CuLi itself.
+
+Demonstrates that the dialect is complete enough to host its own
+library code. The prelude is shipped as a virtual file and pulled in
+through the device file-I/O path (``(load "prelude.lisp")``) — the same
+mechanism user programs use — or installed directly with
+:func:`install_prelude`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PRELUDE_SOURCE", "PRELUDE_FILENAME", "install_prelude"]
+
+PRELUDE_FILENAME = "prelude.lisp"
+
+PRELUDE_SOURCE = """
+; ---- CuLi prelude: library functions defined in CuLi itself ----
+
+(defun caddr (l) (car (cddr l)))
+(defun cdddr (l) (cdr (cddr l)))
+
+(defun sum (l) (reduce '+ l 0))
+(defun product (l) (reduce '* l 1))
+(defun mean (l) (/ (sum l) (length l)))
+
+(defun take (n l)
+  (if (or (zerop n) (null l)) nil
+      (cons (car l) (take (- n 1) (cdr l)))))
+
+(defun drop (n l) (nthcdr n l))
+
+(defun range (n) (iota n))
+
+(defun gcd2 (a b) (if (zerop b) (abs a) (gcd2 b (mod a b))))
+(defun lcm2 (a b) (/ (abs (* a b)) (gcd2 a b)))
+
+(defun fact (n) (if (< n 2) 1 (* n (fact (- n 1)))))
+
+(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+
+(defun flatten (l)
+  (cond ((null l) nil)
+        ((atom l) (list l))
+        (T (append (flatten (car l)) (flatten (cdr l))))))
+
+(defun zip (a b)
+  (if (or (null a) (null b)) nil
+      (cons (list (car a) (car b)) (zip (cdr a) (cdr b)))))
+
+(defun assoc-set (key value table)
+  (cons (list key value)
+        (remove-if (lambda (row) (equal (car row) key)) table)))
+
+(defun all-p (pred l)
+  (if (null l) T
+      (and (funcall pred (car l)) (all-p pred (cdr l)))))
+
+(defun any-p (pred l)
+  (if (null l) nil
+      (or (funcall pred (car l)) (any-p pred (cdr l)))))
+
+(defmacro incf (place) (list 'setq place (list '+ place 1)))
+(defmacro decf (place) (list 'setq place (list '- place 1)))
+
+'prelude-loaded
+"""
+
+
+def install_prelude(session_or_device) -> str:
+    """Write the prelude into the target's virtual file system and load
+    it device-side. Accepts a :class:`~repro.runtime.session.CuLiSession`
+    or a device. Returns the load result ("prelude-loaded")."""
+    device = getattr(session_or_device, "device", session_or_device)
+    device.filesystem.write(PRELUDE_FILENAME, PRELUDE_SOURCE)
+    stats = device.submit(f'(load "{PRELUDE_FILENAME}")')
+    return stats.output

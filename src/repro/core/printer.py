@@ -1,0 +1,80 @@
+"""The CuLi printer (paper §III-B-d).
+
+"During the evaluation phase a node tree is generated that only consists
+of primitives. The tree's nodes are passed ... to the printer that
+generates the output string. For each node it appends the corresponding
+string representation to the output string."
+
+All characters flow through :class:`~repro.gpu.memory.OutputBuffer`
+(``CHAR_STORE`` + ``PRINT_STEP`` each); numbers are formatted by the
+device-side itoa/ftoa in ``repro.strlib`` (IDIV per digit — expensive on
+Fermi). Like parsing, printing runs serially on the master thread.
+"""
+
+from __future__ import annotations
+
+from ..context import ExecContext
+from ..gpu.memory import OutputBuffer
+from ..ops import Op
+from ..strlib import format_float, format_int
+from .nodes import Node, NodeType
+
+__all__ = ["Printer"]
+
+
+class Printer:
+    def __init__(self, ctx: ExecContext) -> None:
+        self.ctx = ctx
+
+    def print_node(self, node: Node, out: OutputBuffer, readable: bool = True) -> None:
+        """Append ``node``'s representation to ``out``.
+
+        ``readable=True`` prints strings with quotes (REPL results);
+        ``readable=False`` is the ``princ`` behaviour (raw strings).
+        """
+        ctx = self.ctx
+        stack: list[object] = [node]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, str):  # queued punctuation
+                out.append(item)
+                continue
+            ctx.charge(Op.NODE_READ)  # load type + value
+            ntype = item.ntype
+            if ntype == NodeType.N_NIL:
+                out.append("nil")
+            elif ntype == NodeType.N_TRUE:
+                out.append("T")
+            elif ntype == NodeType.N_INT:
+                out.append(format_int(item.ival, ctx))
+            elif ntype == NodeType.N_FLOAT:
+                out.append(format_float(item.fval, ctx))
+            elif ntype == NodeType.N_STRING:
+                if readable:
+                    out.append('"' + item.sval + '"')
+                else:
+                    out.append(item.sval)
+            elif ntype == NodeType.N_SYMBOL:
+                out.append(item.sval)
+            elif ntype == NodeType.N_FUNCTION:
+                out.append(f"#<builtin {item.sval or (item.fn.name if item.fn else '?')}>")
+            elif ntype == NodeType.N_FORM:
+                out.append(f"#<form {item.sval or 'lambda'}>")
+            elif ntype == NodeType.N_MACRO:
+                out.append(f"#<macro {item.sval or 'macro'}>")
+            else:  # N_LIST / N_EXPRESSION
+                out.append("(")
+                stack.append(")")
+                children = list(item.children())
+                ctx.charge(Op.NODE_READ, len(children))
+                for i, child in enumerate(reversed(children)):
+                    stack.append(child)
+                    if i != len(children) - 1:
+                        stack.append(" ")
+
+    def to_string(self, node: Node, readable: bool = True) -> str:
+        """Print into a scratch buffer and return the string."""
+        out = OutputBuffer()
+        out.bind(self.ctx)
+        self.print_node(node, out, readable=readable)
+        return out.getvalue()

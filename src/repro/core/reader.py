@@ -1,0 +1,193 @@
+"""The CuLi parser (paper §III-B-b, Fig. 4).
+
+"The parser builds the parse tree, a tree of nodes describing the input
+string. For this it reads the string character by character. An opening
+parenthesis builds a new list ... The parser walks the string until it
+sees a whitespace character, or an opening or closing parenthesis. These
+characters are markers for the parser. The substring between the last
+marker and the current marker is the input to generate a new node."
+
+The tokenizer is a single-pass cursor: every character is fetched through
+:class:`~repro.gpu.memory.SourceBuffer` exactly once (one ``CHAR_LOAD`` +
+``PARSE_STEP``, cache-modelled), like the C scanner it stands in for.
+Parsing is therefore a serial, latency-bound scan on the master thread —
+exactly the behaviour the paper identifies as CuLi's bottleneck.
+
+Note on environments: the paper creates an environment per list at parse
+time; we charge that allocation here but materialize environments lazily
+during evaluation (see DESIGN.md deviations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..context import ExecContext
+from ..errors import ParseError
+from ..gpu.memory import SourceBuffer
+from ..ops import Op
+from ..strlib import AtomClass, classify_atom
+from .nodes import Node, NodeType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+__all__ = ["Parser"]
+
+_WHITESPACE = " \t\n\r\v\f"
+_QUOTE_SUGAR = "'"
+_MAX_NESTING = 512
+
+
+class Parser:
+    """Char-by-char parser with an explicit cursor (no re-reads)."""
+
+    def __init__(self, interp: "Interpreter", ctx: ExecContext) -> None:
+        self.interp = interp
+        self.ctx = ctx
+        self._src: SourceBuffer | None = None
+        self._n = 0
+        self._pos = 0
+        self._ch = "\0"
+
+    # -- public -----------------------------------------------------------------
+
+    def parse(self, source: SourceBuffer | str, base_addr: int = 0) -> list[Node]:
+        """Parse the whole input; returns the top-level forms in order."""
+        if isinstance(source, str):
+            source = SourceBuffer(source, base=base_addr)
+        source.bind(self.ctx)
+        self._src = source
+        self._n = len(source)
+        self._pos = -1
+        self._next()  # load the first character
+        top: list[Node] = []
+        while True:
+            self._skip_whitespace()
+            if self._at_end:
+                break
+            top.append(self._parse_one(depth=0))
+        if not top:
+            raise ParseError("empty input", position=0)
+        return top
+
+    # -- cursor -------------------------------------------------------------------
+
+    @property
+    def _at_end(self) -> bool:
+        return self._pos >= self._n
+
+    def _next(self) -> None:
+        """Advance the cursor and load the character under it (once)."""
+        self._pos += 1
+        if self._pos <= self._n:
+            # Reading the terminator at position n is the C scanner's
+            # final load of '\0'; past it we stop touching memory.
+            self._ch = self._src.char_at(self._pos)  # type: ignore[union-attr]
+        else:
+            self._ch = "\0"
+
+    def _skip_whitespace(self) -> None:
+        """Skip whitespace and ';' line comments (an extension — the
+        paper has no comments; files pulled in via ``load`` keep their
+        newlines, so comments terminate correctly there)."""
+        while not self._at_end:
+            if self._ch in _WHITESPACE:
+                self._next()
+            elif self._ch == ";":
+                while not self._at_end and self._ch != "\n":
+                    self._next()
+            else:
+                return
+
+    # -- grammar -------------------------------------------------------------------
+
+    def _parse_one(self, depth: int) -> Node:
+        if depth > _MAX_NESTING:
+            raise ParseError(
+                "nesting too deep for the device parser stack", position=self._pos
+            )
+        ch = self._ch
+        if ch == "(":
+            return self._parse_list(depth)
+        if ch == ")":
+            raise ParseError("unexpected ')'", position=self._pos)
+        if ch == _QUOTE_SUGAR and self.interp.options.quote_sugar:
+            return self._parse_quoted(depth)
+        if ch == '"':
+            return self._parse_string()
+        return self._parse_atom()
+
+    def _parse_list(self, depth: int) -> Node:
+        ctx = self.ctx
+        arena = self.interp.arena
+        open_pos = self._pos
+        self._next()  # consume '('
+        lst = arena.alloc(NodeType.N_LIST, ctx)
+        # The paper allocates a fresh environment per parsed list; we
+        # charge that cost here (materialized lazily at eval time).
+        ctx.charge(Op.NODE_ALLOC)
+        while True:
+            self._skip_whitespace()
+            if self._at_end:
+                raise ParseError("missing ')'", position=open_pos)
+            if self._ch == ")":
+                self._next()  # consume ')'
+                ctx.charge(Op.NODE_WRITE)  # close the list (store last pointer)
+                return lst.seal()
+            child = self._parse_one(depth + 1)
+            ctx.charge(Op.NODE_WRITE, 2)  # link child into first/last chain
+            lst.append_child(child)
+
+    def _parse_quoted(self, depth: int) -> Node:
+        """Reader sugar: 'x -> (quote x). An extension over the paper."""
+        ctx = self.ctx
+        arena = self.interp.arena
+        self._next()  # consume the quote character
+        self._skip_whitespace()
+        if self._at_end:
+            raise ParseError("dangling quote", position=self._pos)
+        inner = self._parse_one(depth + 1)
+        lst = arena.alloc(NodeType.N_LIST, ctx)
+        quote_sym = arena.new_symbol("quote", ctx)
+        ctx.charge(Op.NODE_WRITE, 4)
+        lst.append_child(quote_sym)
+        lst.append_child(inner)
+        return lst.seal()
+
+    def _parse_string(self) -> Node:
+        """Scan a double-quoted string. No escape sequences (like the paper)."""
+        start = self._pos
+        self._next()  # consume the opening quote
+        while not self._at_end and self._ch != '"':
+            self._next()
+        if self._at_end:
+            raise ParseError("unterminated string", position=start)
+        self._next()  # consume the closing quote
+        token = self._src.slice(start, self._pos)  # type: ignore[union-attr]
+        return self._make_atom(token, start)
+
+    def _parse_atom(self) -> Node:
+        start = self._pos
+        while not self._at_end and self._ch not in _WHITESPACE and self._ch not in "()":
+            self._next()
+        token = self._src.slice(start, self._pos)  # type: ignore[union-attr]
+        if not token:
+            raise ParseError("empty atom", position=start)
+        return self._make_atom(token, start)
+
+    def _make_atom(self, token: str, position: int) -> Node:
+        ctx = self.ctx
+        arena = self.interp.arena
+        cls, value = classify_atom(token, ctx)
+        if cls is AtomClass.STRING:
+            return arena.new_string(str(value), ctx)
+        if cls is AtomClass.NIL:
+            return arena.new_nil(ctx)
+        if cls is AtomClass.TRUE:
+            return arena.new_true(ctx)
+        if cls is AtomClass.INT:
+            return arena.new_int(int(value), ctx)  # type: ignore[arg-type]
+        if cls is AtomClass.FLOAT:
+            return arena.new_float(float(value), ctx)  # type: ignore[arg-type]
+        return arena.new_symbol(token, ctx)

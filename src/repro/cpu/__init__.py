@@ -1,0 +1,18 @@
+"""CPU substrate: the paper's pthreads baseline.
+
+The same interpreter runs here with CPU cost tables (deep out-of-order
+cores hide the interpreter's memory latency) and a worker-pool execution
+model: jobs are distributed over hardware threads in waves.
+"""
+
+from .specs import ALL_CPUS, AMD_6272, CPU_BY_NAME, INTEL_E5_2620, CPUSpec
+from .device import CPUDevice
+
+__all__ = [
+    "CPUSpec",
+    "CPUDevice",
+    "INTEL_E5_2620",
+    "AMD_6272",
+    "ALL_CPUS",
+    "CPU_BY_NAME",
+]

@@ -1,0 +1,149 @@
+"""The simulated CPU device (the paper's pthreads build of CuLi).
+
+Same interpreter, same REPL protocol, no PCIe: the "command buffer" is
+ordinary shared memory, so transfer time is zero and the per-command
+overhead is a condition-variable wake instead of a mapped-memory
+handshake. Base latency is just arena allocation + global environment
+construction (no CUDA context), which is why the paper's CPUs start
+>30x faster than any GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..context import CountingContext
+from ..core.interpreter import Interpreter, InterpreterOptions
+from ..errors import DeviceShutdownError
+from ..gpu.hostlink import parens_balanced, sanitize_input
+from ..gpu.memory import OutputBuffer, SourceBuffer
+from ..errors import UnbalancedInputError
+from ..ops import Phase
+from ..runtime.fidelity import Fidelity
+from ..timing import CommandStats, PhaseBreakdown
+from .pool import CPUParallelEngine
+from .specs import CPUSpec
+
+__all__ = ["CPUDevice", "CPUDeviceConfig"]
+
+_HOST_LOOP_MS = 0.001
+
+
+@dataclass
+class CPUDeviceConfig:
+    fidelity: Fidelity = Fidelity.WARP
+    interpreter: Optional[InterpreterOptions] = None
+
+
+class CPUDevice:
+    """One CuLi instance running on a simulated multicore CPU."""
+
+    def __init__(self, spec: CPUSpec, config: Optional[CPUDeviceConfig] = None) -> None:
+        self.spec = spec
+        self.config = config or CPUDeviceConfig()
+        self.fidelity = self.config.fidelity
+
+        self.master_ctx = CountingContext(
+            max_depth=spec.max_recursion_depth, thread_id=0
+        )
+        self.master_ctx.set_phase(Phase.OTHER)
+        interp_options = self.config.interpreter or InterpreterOptions()
+        self.interp = Interpreter(options=interp_options, setup_ctx=self.master_ctx)
+        self._setup_cycles = self.master_cycles(Phase.OTHER)
+        self.engine = CPUParallelEngine(self)
+        self.interp.parallel_engine = self.engine
+        # Host and device share memory: file I/O is a direct call.
+        from ..gpu.fileio import HostFileSystem, InMemoryFileService
+
+        self.filesystem = HostFileSystem()
+        self.interp.file_service = InMemoryFileService(self.filesystem)
+        self.master_ctx.set_phase(Phase.EVAL)
+
+        self.commands_executed = 0
+        self._closed = False
+
+    # -- accounting ---------------------------------------------------------------
+
+    def master_cycles(self, phase: Phase) -> float:
+        row = np.asarray(self.master_ctx.counts.rows[phase], dtype=np.float64)
+        return float(self.spec.costs.vector @ row)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def base_latency_ms(self) -> float:
+        """Process setup + env build + teardown (no CUDA context)."""
+        return self.spec.setup_us / 1000.0 + self.spec.cycles_to_ms(self._setup_cycles)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> str:
+        return "cpu"
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- command execution -------------------------------------------------------------
+
+    def submit(self, text: str, sanitize: bool = True) -> CommandStats:
+        if self._closed:
+            raise DeviceShutdownError(f"device {self.name} has been shut down")
+        if sanitize:
+            text = sanitize_input(text)
+        if not parens_balanced(text):
+            raise UnbalancedInputError(
+                f"unbalanced parentheses: {text.count('(')} '(' vs {text.count(')')} ')'"
+            )
+
+        master = self.master_ctx
+        master.reset()
+        master.set_phase(Phase.EVAL)
+        self.engine.begin_command()
+
+        source = SourceBuffer(text)
+        out = OutputBuffer(capacity=1 << 20)
+        try:
+            output = self.interp.process(source, master, out)
+        except Exception:
+            if self.interp.options.gc_after_command:
+                self.interp.collect_garbage()
+            raise
+
+        to_ms = self.spec.cycles_to_ms
+        times = PhaseBreakdown(
+            parse_ms=to_ms(self.master_cycles(Phase.PARSE)),
+            eval_ms=to_ms(self.master_cycles(Phase.EVAL))
+            + to_ms(self.engine.worker_wall_cycles),
+            print_ms=to_ms(self.master_cycles(Phase.PRINT)),
+            other_ms=self.spec.command_overhead_us / 1000.0,
+            transfer_ms=0.0,  # host and device share memory
+            host_ms=_HOST_LOOP_MS,
+            distribute_ms=to_ms(self.engine.distribute_cycles),
+            worker_ms=to_ms(self.engine.worker_wall_cycles),
+            collect_ms=to_ms(self.engine.collect_cycles),
+            spin_cycles=self.engine.spin_cycles,
+        )
+        freed = 0
+        if self.interp.options.gc_after_command:
+            freed = self.interp.collect_garbage()
+
+        self.commands_executed += 1
+        return CommandStats(
+            output=output,
+            times=times,
+            input_chars=len(text),
+            output_chars=len(output),
+            jobs=self.engine.jobs,
+            rounds=self.engine.round_count,
+            nodes_freed=freed,
+        )

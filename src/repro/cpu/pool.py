@@ -1,0 +1,151 @@
+"""The pthread-pool ||| engine for CPU devices.
+
+The paper: "To implement dynamic multi-threading, CuLi uses the threads
+provided by CUDA for the GPUs (for the CPU version we use pthreads)."
+
+Execution model: the main thread pushes one job per worker onto a work
+queue (a mutex-protected push: one atomic plus a store), ``hw_threads``
+workers drain it concurrently, and the main thread joins. With more jobs
+than hardware threads, execution proceeds in waves; wave wall time is
+the slowest job in the wave. There is no lockstep — CPUs have no warps —
+so the fidelity grouping only saves simulator time, never changes the
+modelled time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..context import CountingContext, ExecContext
+from ..core.interpreter import sequential_engine
+from ..core.nodes import Node, NodeType
+from ..ops import Op, Phase
+from ..runtime.fidelity import Fidelity, group_rows
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.environment import Environment
+    from ..core.interpreter import Interpreter
+    from .device import CPUDevice
+
+__all__ = ["CPUParallelEngine"]
+
+
+class CPUParallelEngine:
+    def __init__(self, device: "CPUDevice") -> None:
+        self.device = device
+        self.nested_fallbacks = 0
+        self._active = False
+        self.begin_command()
+
+    def begin_command(self) -> None:
+        self.worker_wall_cycles = 0.0
+        self.distribute_cycles = 0.0
+        self.collect_cycles = 0.0
+        self.jobs = 0
+        self.waves = 0
+
+    @property
+    def round_count(self) -> int:
+        return self.waves
+
+    @property
+    def spin_cycles(self) -> float:
+        return 0.0  # CPU workers sleep on a condvar instead of spinning
+
+    def __call__(
+        self,
+        interp: "Interpreter",
+        fn: Node,
+        rows: list[list[Node]],
+        env: "Environment",
+        ctx: ExecContext,
+        depth: int,
+    ) -> list[Node]:
+        if self._active:
+            self.nested_fallbacks += 1
+            return sequential_engine(interp, fn, rows, env, ctx, depth)
+        self._active = True
+        try:
+            return self._run(interp, fn, rows, env, ctx)
+        finally:
+            self._active = False
+
+    def _run(
+        self,
+        interp: "Interpreter",
+        fn: Node,
+        rows: list[list[Node]],
+        env: "Environment",
+        master: ExecContext,
+    ) -> list[Node]:
+        dev = self.device
+        spec = dev.spec
+        n = len(rows)
+        self.jobs += n
+        cost_vec = spec.costs.vector
+
+        # ---- main thread: enqueue every job ---------------------------------
+        c0 = dev.master_cycles(Phase.EVAL)
+        exprs = []
+        for row in rows:
+            expr = interp.arena.alloc(NodeType.N_LIST, master)
+            master.charge(Op.NODE_WRITE, 2)
+            expr.append_child(interp.linkable(fn, master))
+            for arg in row:
+                master.charge(Op.NODE_WRITE, 2)
+                expr.append_child(interp.linkable(arg, master))
+            exprs.append(expr.seal())
+            master.charge(Op.ATOMIC_RMW)   # queue mutex
+            master.charge(Op.POSTBOX_WRITE)  # queue slot store
+        c1 = dev.master_cycles(Phase.EVAL)
+        self.distribute_cycles += c1 - c0
+
+        # ---- workers: waves over hardware threads ------------------------------
+        results: list[Optional[Node]] = [None] * n
+        job_cycles = np.zeros(n, dtype=np.float64)
+
+        if dev.fidelity is Fidelity.WARP:
+            groups = group_rows(fn, rows)
+        else:
+            groups = {("job", i): [i] for i in range(n)}
+
+        from ..context import NullContext
+
+        null = NullContext()
+        for indices in groups.values():
+            rep = indices[0]
+            wctx = CountingContext(max_depth=spec.max_recursion_depth, thread_id=rep)
+            wctx.set_phase(Phase.EVAL)
+            wctx.charge(Op.ATOMIC_RMW)  # queue pop
+            local = env.child(label="worker")
+            wctx.charge(Op.NODE_ALLOC)
+            result = interp.eval_node(exprs[rep], local, wctx, 0)
+            wctx.charge(Op.ATOMIC_RMW)  # completion count
+            cycles = float(cost_vec @ wctx.counts.total())
+            job_cycles[rep] = cycles
+            results[rep] = result
+            for idx in indices[1:]:
+                # Each twin job yields its own result node (uncharged —
+                # the replicated cycle count already covers it).
+                job_cycles[idx] = cycles
+                results[idx] = interp.copy_node(result, null)
+
+        # Greedy wave schedule: hw_threads jobs run concurrently; each wave
+        # lasts as long as its slowest job.
+        width = spec.hw_threads
+        wall = 0.0
+        for start in range(0, n, width):
+            wall += float(job_cycles[start : start + width].max())
+            self.waves += 1
+        self.worker_wall_cycles += wall
+
+        # ---- main thread: join / gather ----------------------------------------
+        c2 = dev.master_cycles(Phase.EVAL)
+        master.charge(Op.POSTBOX_READ, n)
+        c3 = dev.master_cycles(Phase.EVAL)
+        self.collect_cycles += c3 - c2
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

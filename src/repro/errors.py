@@ -1,0 +1,112 @@
+"""Exception hierarchy for the CuLi reproduction.
+
+Errors are split along the paper's system boundaries: Lisp-level errors
+(bad programs), device-level errors (the simulated GPU/CPU misbehaving or
+hitting a resource limit), and host/protocol errors (REPL plumbing).
+"""
+
+from __future__ import annotations
+
+
+class CuLiError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Lisp-level errors (paper §III-A/B)
+# ---------------------------------------------------------------------------
+
+
+class LispError(CuLiError):
+    """A Lisp program did something invalid."""
+
+
+class ParseError(LispError):
+    """The parser rejected the input string."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class EvalError(LispError):
+    """Evaluation failed (wrong arity, bad types, unbound function, ...)."""
+
+
+class ArityError(EvalError):
+    """A function or special form received the wrong number of arguments."""
+
+
+class TypeMismatchError(EvalError):
+    """A builtin received an argument of the wrong node type."""
+
+
+class RecursionDepthError(EvalError):
+    """Evaluation exceeded the device's stack depth.
+
+    CUDA device stacks are small; the paper's interpreter inherits that
+    limit, so the simulated device enforces a maximum recursion depth.
+    """
+
+
+class ImmutabilityError(LispError):
+    """A sealed node was written to.
+
+    The paper: "After a value has been assigned to a node, it becomes
+    immutable. This is necessary for parallel execution."
+    """
+
+
+# ---------------------------------------------------------------------------
+# Device-level errors (paper §III-C/D)
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(CuLiError):
+    """Base class for simulated-device failures."""
+
+
+class ArenaExhaustedError(DeviceError):
+    """The fixed-size node array is full.
+
+    The paper: "the size of the possible inputs is currently limited...
+    reasoned by the organization of the nodes used for storing objects."
+    """
+
+
+class LivelockError(DeviceError):
+    """Warp-divergence livelock detected.
+
+    Without the per-block synchronization flag (paper Alg. 1, Fig. 13),
+    lockstep threads that never receive work spin forever and block their
+    warp siblings from completing.
+    """
+
+
+class DeviceShutdownError(DeviceError):
+    """An operation was issued to a device that has been shut down."""
+
+
+class MemoryFaultError(DeviceError):
+    """An out-of-bounds access on simulated global memory."""
+
+
+# ---------------------------------------------------------------------------
+# Host / protocol errors
+# ---------------------------------------------------------------------------
+
+
+class HostProtocolError(CuLiError):
+    """The host<->device command-buffer protocol was violated."""
+
+
+class UnbalancedInputError(HostProtocolError):
+    """The host refused to upload input with unbalanced parentheses.
+
+    The paper: "The host uploads the input to the GPU if the number of
+    opening and closing parentheses is equal."
+    """
+
+
+class UnknownDeviceError(CuLiError):
+    """A device name not present in the registry was requested."""

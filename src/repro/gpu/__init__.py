@@ -1,0 +1,47 @@
+"""SIMT GPU simulator substrate.
+
+Implements the execution environment the paper's CuLi kernel runs in:
+per-architecture cycle-cost models, a set-associative L2 cache, simulated
+global memory, warps/blocks/grids with residency limits, per-thread
+postboxes, the mapped-memory host link, and the persistent master/worker
+kernel (paper Alg. 1, Figs. 8-13).
+"""
+
+from .costs import ARCH_COSTS, Arch
+from .specs import (
+    ALL_GPUS,
+    GPU_BY_NAME,
+    GTX480,
+    GTX680,
+    GTX1080,
+    TESLA_C2075,
+    TESLA_K20,
+    TESLA_M40,
+    GPUSpec,
+)
+
+
+def __getattr__(name: str):
+    # GPUDevice is exported lazily: device.py imports the interpreter,
+    # which imports gpu.atomics through this package — a direct import
+    # here would be circular.
+    if name == "GPUDevice":
+        from .device import GPUDevice
+
+        return GPUDevice
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Arch",
+    "ARCH_COSTS",
+    "GPUSpec",
+    "GPUDevice",
+    "ALL_GPUS",
+    "GPU_BY_NAME",
+    "TESLA_C2075",
+    "TESLA_K20",
+    "TESLA_M40",
+    "GTX480",
+    "GTX680",
+    "GTX1080",
+]

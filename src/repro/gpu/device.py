@@ -1,0 +1,231 @@
+"""The simulated GPU device: lifecycle, memory map, and command execution.
+
+A :class:`GPUDevice` is the CUDA side of CuLi: it owns the simulated
+global memory (node arena, string buffers, postboxes), the L2 cache
+model, the command buffer shared with the host, the persistent
+interpreter (the environment survives across commands, as the paper's
+interactive REPL requires), and the master/worker kernel engine.
+
+Lifecycle timing reproduces the paper's base latency (Fig. 14): CUDA
+context creation + kernel launch (spec-calibrated) + the master thread
+building the global environment (charged op-by-op) + the graceful stop
+(deactivating every block and the final host handshake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..context import CountingContext
+from ..core.interpreter import Interpreter, InterpreterOptions
+from ..errors import DeviceShutdownError
+from ..gpu.cache import SetAssociativeCache
+from ..gpu.fileio import FileServiceLink, HostFileSystem
+from ..gpu.grid import GridConfig
+from ..gpu.hostlink import CommandBuffer, sanitize_input
+from ..gpu.kernel import GPUParallelEngine
+from ..gpu.memory import GlobalMemory, OutputBuffer, SourceBuffer
+from ..gpu.postbox import PostboxArray
+from ..gpu.specs import GPUSpec
+from ..core.nodes import NODE_BYTES
+from ..ops import Op, Phase
+from ..runtime.fidelity import Fidelity
+from ..timing import CommandStats, PhaseBreakdown
+
+__all__ = ["GPUDevice", "GPUDeviceConfig"]
+
+#: Extra DRAM latency charged per L2 miss, in nanoseconds (per arch the
+#: differences are small next to the calibrated per-op costs).
+_DRAM_EXTRA_NS = {
+    "fermi": 350.0,
+    "kepler": 300.0,
+    "maxwell": 280.0,
+    "pascal": 250.0,
+    "volta": 220.0,  # HBM2
+}
+
+#: Host-side work per command (prompt handling, fgets, puts) in ms.
+_HOST_LOOP_MS = 0.001
+
+
+@dataclass
+class GPUDeviceConfig:
+    """Behavioural switches (defaults = the paper's working design)."""
+
+    fidelity: Fidelity = Fidelity.WARP
+    enable_block_sync_flag: bool = True       #: Alg. 1 / Fig. 13 mechanism
+    disable_master_block_workers: bool = True  #: Fig. 12 mechanism
+    interpreter: Optional[InterpreterOptions] = None
+
+
+class GPUDevice:
+    """One CuLi instance resident on one simulated GPU."""
+
+    def __init__(self, spec: GPUSpec, config: Optional[GPUDeviceConfig] = None) -> None:
+        self.spec = spec
+        self.config = config or GPUDeviceConfig()
+        self.fidelity = self.config.fidelity
+        self.enable_block_sync_flag = self.config.enable_block_sync_flag
+        self.grid = GridConfig.for_spec(
+            spec, master_block_disabled=self.config.disable_master_block_workers
+        )
+
+        # ---- device memory map -------------------------------------------
+        interp_options = self.config.interpreter or InterpreterOptions()
+        self.memory = GlobalMemory()
+        self.cmdbuf = CommandBuffer(spec)
+        self.input_region = self.memory.allocate_region("input", self.cmdbuf.capacity)
+        self.output_region = self.memory.allocate_region("output", self.cmdbuf.capacity)
+        self.arena_region = self.memory.allocate_region(
+            "arena", interp_options.arena_capacity * NODE_BYTES
+        )
+        self.postbox_region = self.memory.allocate_region(
+            "postboxes", self.grid.total_threads * 32
+        )
+        self.postboxes = PostboxArray(self.grid.total_threads)
+
+        # ---- L2 cache + master context ---------------------------------------
+        self.cache = SetAssociativeCache(
+            spec.l2_kib, line_bytes=spec.l2_line_bytes, assoc=spec.l2_assoc
+        )
+        miss_penalty = _DRAM_EXTRA_NS[spec.arch.value] * spec.core_clock_ghz
+        self.master_ctx = CountingContext(
+            max_depth=spec.max_recursion_depth,
+            thread_id=self.grid.master_tid,
+            cache=self.cache,
+            miss_penalty=miss_penalty,
+        )
+
+        # ---- kernel start: master builds the global environment ---------------
+        self.master_ctx.set_phase(Phase.OTHER)
+        self.interp = Interpreter(options=interp_options, setup_ctx=self.master_ctx)
+        self._setup_cycles = self.master_cycles(Phase.OTHER)
+        self.engine = GPUParallelEngine(self)
+        self.interp.parallel_engine = self.engine
+        # Device file I/O goes through the host message buffer (§III-D).
+        self.filesystem = HostFileSystem()
+        self.file_link = FileServiceLink(spec, self.filesystem)
+        self.interp.file_service = self.file_link
+        self.master_ctx.set_phase(Phase.EVAL)
+
+        self.commands_executed = 0
+        self._closed = False
+
+    # -- cycle accounting helpers ----------------------------------------------
+
+    def master_cycles(self, phase: Phase) -> float:
+        row = np.asarray(self.master_ctx.counts.rows[phase], dtype=np.float64)
+        return float(self.spec.costs.vector @ row) + self.master_ctx.extra_cycles[phase]
+
+    def _shutdown_cycles(self) -> float:
+        """Graceful stop: the master clears every block's active flag and
+        performs the final handshake."""
+        store = self.spec.costs.cost_of(Op.POSTBOX_WRITE)
+        fence = self.spec.costs.cost_of(Op.FENCE)
+        return self.grid.n_blocks * store + fence
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def base_latency_ms(self) -> float:
+        """Setup + graceful stop (paper Fig. 14).
+
+        Context creation and kernel launch come from the spec model;
+        the global-environment build was charged op-by-op at startup;
+        the stop cost covers deactivating all blocks plus one handshake.
+        """
+        startup = self.spec.base_latency_ms + self.spec.cycles_to_ms(self._setup_cycles)
+        stop = self.spec.cycles_to_ms(self._shutdown_cycles())
+        stop += self.spec.command_overhead_us / 2000.0  # half a handshake
+        return startup + stop
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kind(self) -> str:
+        return "gpu"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.cmdbuf.host_stop_kernel()
+        self.master_ctx.set_phase(Phase.OTHER)
+        self.postboxes.deactivate_all(self.master_ctx)
+        self.master_ctx.set_phase(Phase.EVAL)
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- command execution ------------------------------------------------------------
+
+    def submit(self, text: str, sanitize: bool = True) -> CommandStats:
+        """Run one REPL command through the full host<->device protocol."""
+        if self._closed:
+            raise DeviceShutdownError(f"device {self.name} has been shut down")
+        if sanitize:
+            text = sanitize_input(text)
+
+        # Host uploads through the mapped command buffer.
+        up_ms = self.cmdbuf.host_upload(text)
+
+        # Device side: wake the master, run parse -> eval -> print.
+        master = self.master_ctx
+        master.reset()
+        master.set_phase(Phase.EVAL)
+        self.engine.begin_command()
+        self.file_link.stats.reset()
+        cache_hits0 = self.cache.stats.hits
+        cache_miss0 = self.cache.stats.misses
+
+        source = SourceBuffer(self.cmdbuf.device_read(), base=self.input_region.base)
+        out = OutputBuffer(base=self.output_region.base, capacity=self.cmdbuf.capacity)
+        try:
+            output = self.interp.process(source, master, out)
+        except Exception:
+            # The device releases the buffer so the REPL stays alive,
+            # and reclaims the failed command's partial trees.
+            self.cmdbuf.dev_sync = 0
+            if self.interp.options.gc_after_command:
+                self.interp.collect_garbage()
+            raise
+        self.cmdbuf.device_write_result(output)
+
+        result_text, down_ms = self.cmdbuf.host_download()
+
+        to_ms = self.spec.cycles_to_ms
+        times = PhaseBreakdown(
+            parse_ms=to_ms(self.master_cycles(Phase.PARSE)),
+            eval_ms=to_ms(self.master_cycles(Phase.EVAL))
+            + to_ms(self.engine.worker_wall_cycles),
+            print_ms=to_ms(self.master_cycles(Phase.PRINT)),
+            other_ms=self.spec.command_overhead_us / 1000.0,
+            transfer_ms=up_ms + down_ms + self.file_link.stats.transfer_ms,
+            host_ms=_HOST_LOOP_MS,
+            distribute_ms=to_ms(self.engine.distribute_cycles),
+            worker_ms=to_ms(self.engine.worker_wall_cycles),
+            collect_ms=to_ms(self.engine.collect_cycles),
+            spin_cycles=self.engine.spin_cycles,
+            cache_hits=self.cache.stats.hits - cache_hits0,
+            cache_misses=self.cache.stats.misses - cache_miss0,
+        )
+        freed = 0
+        if self.interp.options.gc_after_command:
+            freed = self.interp.collect_garbage()
+
+        self.commands_executed += 1
+        return CommandStats(
+            output=result_text,
+            times=times,
+            input_chars=len(text),
+            output_chars=len(result_text),
+            jobs=self.engine.jobs,
+            rounds=self.engine.round_count,
+            nodes_freed=freed,
+        )

@@ -1,0 +1,131 @@
+"""Host <-> device command buffer (paper Fig. 8/9).
+
+The paper allocates a shared C struct with ``cudaHostAlloc`` using the
+``cudaHostAllocMapped`` flag, so host and device see the same memory
+without explicit ``cudaMemcpy`` calls. Members:
+
+* ``dev_active`` — host sets it to 0 to terminate the kernel,
+* ``dev_sync``   — 1 while the device owns the buffer (host waits),
+* ``command_buffer`` / ``buffer_length`` — the input or output string.
+
+We reproduce the protocol state machine and account the transfer cost:
+mapped memory still moves bytes over PCIe, one cache line at a time, so
+uploads/downloads pay latency + size/bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HostProtocolError, UnbalancedInputError
+from .specs import GPUSpec
+
+__all__ = ["CommandBuffer", "sanitize_input", "parens_balanced"]
+
+
+def parens_balanced(text: str) -> bool:
+    """The host's upload gate: equal numbers of '(' and ')'.
+
+    The paper checks only equality of counts (not nesting), and so do we;
+    nesting errors surface later in the device-side parser.
+    """
+    return text.count("(") == text.count(")")
+
+
+def sanitize_input(text: str) -> str:
+    """Host-side sanitization before upload: normalize whitespace/controls.
+
+    The paper's host "fetches, sanitizes and uploads the input"; control
+    characters would confuse the device tokenizer, so they become spaces.
+    """
+    cleaned = []
+    for ch in text:
+        if ch in "\n\r\t\v\f":
+            cleaned.append(" ")
+        elif ch.isprintable() or ch == " ":
+            cleaned.append(ch)
+        # other control chars are dropped
+    return "".join(cleaned).strip()
+
+
+@dataclass
+class TransferLog:
+    uploads: int = 0
+    downloads: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    transfer_ms: float = 0.0
+
+
+@dataclass
+class CommandBuffer:
+    """The mapped host/device struct plus protocol bookkeeping."""
+
+    spec: GPUSpec
+    capacity: int = 1 << 16
+    dev_active: int = 1
+    dev_sync: int = 0
+    buffer_length: int = 0
+    command_buffer: str = ""
+    log: TransferLog = field(default_factory=TransferLog)
+
+    def host_upload(self, text: str) -> float:
+        """Host writes the input and raises ``dev_sync``; returns ms spent.
+
+        Raises if the protocol is violated (device still busy, kernel
+        stopped, parens unbalanced, input too large).
+        """
+        if not self.dev_active:
+            raise HostProtocolError("kernel is not running (dev_active == 0)")
+        if self.dev_sync:
+            raise HostProtocolError("device still owns the buffer (dev_sync == 1)")
+        if not parens_balanced(text):
+            raise UnbalancedInputError(
+                f"unbalanced parentheses: {text.count('(')} '(' vs {text.count(')')} ')'"
+            )
+        data = text.encode()
+        if len(data) > self.capacity:
+            raise HostProtocolError(
+                f"input of {len(data)} B exceeds command buffer ({self.capacity} B)"
+            )
+        self.command_buffer = text
+        self.buffer_length = len(data)
+        self.dev_sync = 1
+        ms = self.spec.transfer_ms(len(data))
+        self.log.uploads += 1
+        self.log.bytes_up += len(data)
+        self.log.transfer_ms += ms
+        return ms
+
+    def device_read(self) -> str:
+        if not self.dev_sync:
+            raise HostProtocolError("device read with dev_sync == 0")
+        return self.command_buffer
+
+    def device_write_result(self, text: str) -> None:
+        """Device deposits the output string and releases the buffer."""
+        if not self.dev_sync:
+            raise HostProtocolError("device wrote result without owning the buffer")
+        data = text.encode()
+        if len(data) > self.capacity:
+            # The device truncates rather than overruns the shared struct.
+            text = data[: self.capacity].decode(errors="ignore")
+            data = text.encode()
+        self.command_buffer = text
+        self.buffer_length = len(data)
+        self.dev_sync = 0
+
+    def host_download(self) -> tuple[str, float]:
+        """Host reads the result after dev_sync fell; returns (text, ms)."""
+        if self.dev_sync:
+            raise HostProtocolError("host read while device owns the buffer")
+        nbytes = self.buffer_length
+        ms = self.spec.transfer_ms(nbytes)
+        self.log.downloads += 1
+        self.log.bytes_down += nbytes
+        self.log.transfer_ms += ms
+        return self.command_buffer, ms
+
+    def host_stop_kernel(self) -> None:
+        """Host terminates the device loop (dev_active = 0, Fig. 9)."""
+        self.dev_active = 0

@@ -1,0 +1,304 @@
+"""The persistent master/worker kernel (paper §III-C/D, Alg. 1).
+
+This module is the GPU back-end's ``|||`` engine. The master thread
+(block 0, thread 0):
+
+1. builds one expression per job — a fresh list linking the function and
+   the job's argument nodes (paper: "creates a new expression for each
+   worker thread, which links to the function"),
+2. deposits it in the worker's postbox and raises the work/sync flags,
+3. sets the per-block synchronization flag for every block that received
+   work — or has no more work to expect — so lockstep threads without a
+   job do not spin forever (Fig. 13; disabling this flag reproduces the
+   warp-divergence livelock),
+4. waits for all workers, then collects results in distribution order.
+
+Workers evaluate their sub-tree in an environment chained to the ``|||``
+expression's environment, with their own (fresh) device stack.
+
+Timing: the master's own work is charged to its context; worker wall
+time per round is the maximum over warps of the per-warp lockstep time
+(max over lanes), since every block is resident and runs concurrently.
+If there are more jobs than workers, the master distributes in rounds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..context import CountingContext, ExecContext, NullContext
+from ..core.interpreter import sequential_engine
+from ..core.nodes import Node, NodeType
+from ..errors import LivelockError
+from ..ops import Op, Phase
+from ..runtime.fidelity import Fidelity, group_rows, task_signature
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.environment import Environment
+    from ..core.interpreter import Interpreter
+    from .device import GPUDevice
+
+__all__ = ["GPUParallelEngine", "RoundReport"]
+
+
+class RoundReport:
+    """Bookkeeping for one distribution round (exposed for tests)."""
+
+    __slots__ = ("jobs", "warps_touched", "wall_cycles", "groups")
+
+    def __init__(self, jobs: int, warps_touched: int, wall_cycles: float, groups: int):
+        self.jobs = jobs
+        self.warps_touched = warps_touched
+        self.wall_cycles = wall_cycles
+        self.groups = groups
+
+
+class GPUParallelEngine:
+    """Installed as ``interp.parallel_engine`` by :class:`GPUDevice`."""
+
+    def __init__(self, device: "GPUDevice") -> None:
+        self.device = device
+        self.nested_fallbacks = 0
+        self._active = False
+        self.begin_command()
+
+    # -- per-command accumulators -------------------------------------------------
+
+    def begin_command(self) -> None:
+        self.worker_wall_cycles = 0.0
+        self.distribute_cycles = 0.0
+        self.collect_cycles = 0.0
+        self.spin_cycles = 0.0
+        self.jobs = 0
+        self.rounds: list[RoundReport] = []
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    # -- engine entry -----------------------------------------------------------------
+
+    def __call__(
+        self,
+        interp: "Interpreter",
+        fn: Node,
+        rows: list[list[Node]],
+        env: "Environment",
+        ctx: ExecContext,
+        depth: int,
+    ) -> list[Node]:
+        if self._active:
+            # A worker hit a nested |||: CuLi has a single master, so
+            # nested parallel sections degrade to sequential evaluation
+            # inside the worker (documented limitation).
+            self.nested_fallbacks += 1
+            return sequential_engine(interp, fn, rows, env, ctx, depth)
+        self._active = True
+        try:
+            return self._run(interp, fn, rows, env, ctx)
+        finally:
+            self._active = False
+
+    # -- the master/worker protocol -------------------------------------------------
+
+    def _run(
+        self,
+        interp: "Interpreter",
+        fn: Node,
+        rows: list[list[Node]],
+        env: "Environment",
+        master: ExecContext,
+    ) -> list[Node]:
+        dev = self.device
+        grid = dev.grid
+        spec = dev.spec
+        n = len(rows)
+        self.jobs += n
+
+        if not grid.master_block_disabled and not spec.independent_thread_scheduling:
+            # Paper Fig. 12: without disabling the master block's sibling
+            # threads, the first block barrier diverges the master's warp
+            # and the kernel livelocks. Volta's per-thread program
+            # counters (the paper's "new threading model") remove this.
+            raise LivelockError(
+                "master-block worker threads are enabled: the master warp "
+                "diverges at the block barrier and spins forever (Fig. 12)"
+            )
+
+        results: list[Optional[Node]] = [None] * n
+        workers = grid.worker_count
+        arena = interp.arena
+
+        offset = 0
+        while offset < n:
+            k = min(workers, n - offset)
+            round_rows = rows[offset : offset + k]
+            last_round = offset + k >= n
+
+            # ---- master: distribution -------------------------------------
+            c0 = dev.master_cycles(Phase.EVAL)
+            for j, row in enumerate(round_rows):
+                expr = self._build_worker_expression(interp, fn, row, master)
+                box = dev.postboxes[grid.worker_tid(j)]
+                box.assign(expr, master)
+            warps_touched = grid.warps_for_jobs(k)
+            if dev.enable_block_sync_flag:
+                # One flag write per touched block, plus — once no more
+                # jobs remain — per remaining block so their threads fall
+                # through the barrier (Alg. 1 line 6 / Fig. 13).
+                master.charge(Op.ATOMIC_RMW, warps_touched)
+                if last_round:
+                    idle_blocks = (grid.n_blocks - 1) - warps_touched
+                    if idle_blocks > 0:
+                        master.charge(Op.ATOMIC_RMW, idle_blocks)
+            elif k % spec.warp_size != 0 and not spec.independent_thread_scheduling:
+                raise LivelockError(
+                    f"{k} jobs is not a multiple of {spec.warp_size} and the "
+                    "block sync flag is disabled: unassigned lockstep lanes "
+                    "spin forever (paper Fig. 13)"
+                )
+            c1 = dev.master_cycles(Phase.EVAL)
+            self.distribute_cycles += c1 - c0
+
+            # ---- workers: lockstep evaluation ---------------------------------
+            wall = self._execute_round(interp, fn, round_rows, env, results, offset)
+            self.worker_wall_cycles += wall
+
+            # ---- master: collection -----------------------------------------
+            c2 = dev.master_cycles(Phase.EVAL)
+            for j in range(k):
+                box = dev.postboxes[grid.worker_tid(j)]
+                collected = box.collect(master)
+                assert collected is not None
+                results[offset + j] = collected
+            c3 = dev.master_cycles(Phase.EVAL)
+            self.collect_cycles += c3 - c2
+
+            offset += k
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _build_worker_expression(
+        self, interp: "Interpreter", fn: Node, row: list[Node], master: ExecContext
+    ) -> Node:
+        """The per-job expression, e.g. (+ 1 4) for (||| 3 + (1 2 3) ...)."""
+        arena = interp.arena
+        expr = arena.alloc(NodeType.N_LIST, master)
+        master.charge(Op.NODE_WRITE, 2)
+        expr.append_child(interp.linkable(fn, master))
+        for arg in row:
+            master.charge(Op.NODE_WRITE, 2)
+            expr.append_child(interp.linkable(arg, master))
+        return expr.seal()
+
+    def _execute_round(
+        self,
+        interp: "Interpreter",
+        fn: Node,
+        round_rows: list[list[Node]],
+        env: "Environment",
+        results: list[Optional[Node]],
+        offset: int,
+    ) -> float:
+        """Run one round of workers; returns the round's wall cycles."""
+        dev = self.device
+        grid = dev.grid
+        spec = dev.spec
+        k = len(round_rows)
+        cost_vec = spec.costs.vector
+        lane_cycles = np.zeros(k, dtype=np.float64)
+
+        if dev.fidelity is Fidelity.WARP:
+            groups = group_rows(fn, round_rows)
+        else:
+            groups = {("job", i): [i] for i in range(k)}
+
+        null = NullContext()
+        for indices in groups.values():
+            rep = indices[0]
+            wctx = self._worker_context(grid.worker_tid(rep))
+            box = dev.postboxes[grid.worker_tid(rep)]
+            expr = box.io
+            assert expr is not None
+            result = self._worker_evaluate(interp, expr, env, wctx)
+            box.complete(result, wctx)  # clears work/sync (2 atomic stores)
+            cycles = float(cost_vec @ wctx.counts.total()) + sum(wctx.extra_cycles)
+            lane_cycles[indices] = cycles
+            results[offset + rep] = result
+            for idx in indices[1:]:
+                other_box = dev.postboxes[grid.worker_tid(idx)]
+                if dev.fidelity is Fidelity.WARP:
+                    # Lockstep twins: same instruction stream, same time.
+                    # Each twin produces its own result node (as FULL mode
+                    # and the paper's C do) — allocated uncharged because
+                    # the replicated cycle count already covers it. Flag
+                    # traffic still happens physically on their cells.
+                    twin = interp.copy_node(result, null)
+                    other_box.complete(twin, null)
+                    results[offset + idx] = twin
+                else:  # pragma: no cover - FULL mode has singleton groups
+                    raise AssertionError("FULL fidelity must not share groups")
+
+        # Warp divergence (paper §III-D-d): lanes on *different* code
+        # paths "finish one after another" — distinct task groups within
+        # one warp serialize, while lockstep-identical lanes run
+        # together. A warp's time is therefore the SUM over its distinct
+        # task signatures of that group's lane time; a uniform warp
+        # degenerates to the plain max.
+        sigs = [task_signature(fn, row) for row in round_rows]
+        warp_cycles = []
+        for w in range(0, k, spec.warp_size):
+            per_sig: dict = {}
+            for lane in range(w, min(w + spec.warp_size, k)):
+                sig = sigs[lane]
+                cycles = float(lane_cycles[lane])
+                if cycles > per_sig.get(sig, 0.0):
+                    per_sig[sig] = cycles
+            warp_cycles.append(sum(per_sig.values()))
+        wall = max(warp_cycles) if warp_cycles else 0.0
+
+        # Energy metric: lanes that finished early (or never had work)
+        # spin on their postbox flags until the round completes.
+        idle_lane_cycles = float(wall * k - lane_cycles.sum())
+        idle_workers = grid.worker_count - k
+        self.spin_cycles += idle_lane_cycles + wall * idle_workers
+        self.rounds.append(
+            RoundReport(
+                jobs=k,
+                warps_touched=grid.warps_for_jobs(k),
+                wall_cycles=wall,
+                groups=len(groups),
+            )
+        )
+        return wall
+
+    def _worker_context(self, tid: int) -> CountingContext:
+        spec = self.device.spec
+        wctx = CountingContext(
+            max_depth=spec.max_recursion_depth,
+            thread_id=tid,
+        )
+        wctx.set_phase(Phase.EVAL)
+        return wctx
+
+    def _worker_evaluate(
+        self,
+        interp: "Interpreter",
+        expr: Node,
+        env: "Environment",
+        wctx: CountingContext,
+    ) -> Node:
+        """One worker's turn through Alg. 1: barrier, flag checks, eval,
+        barrier — charged to the worker's own context."""
+        wctx.charge(Op.BARRIER)        # threadBlockBarrier (line 5)
+        wctx.charge(Op.FENCE)          # __threadfence_block
+        wctx.charge(Op.ATOMIC_LOAD, 2)  # blockSyncFlag + availableWork check
+        wctx.charge(Op.POSTBOX_READ)   # fetch the io sub-tree
+        local = env.child(label="worker")
+        wctx.charge(Op.NODE_ALLOC)
+        result = interp.eval_node(expr, local, wctx, 0)
+        wctx.charge(Op.BARRIER)        # line 11
+        return result

@@ -1,0 +1,164 @@
+"""Simulated global memory: address space, regions, and string buffers.
+
+CuLi keeps everything in GPU global memory: the node arena, the
+environment entries, the input/output string buffers, and the postboxes.
+This module provides the byte-addressed backing store plus the two buffer
+types the interpreter streams through — :class:`SourceBuffer` (the parser
+reads it char by char, charging ``CHAR_LOAD``/``PARSE_STEP`` and touching
+the cache) and :class:`OutputBuffer` (the printer appends to it, charging
+``CHAR_STORE``/``PRINT_STEP``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..context import ExecContext
+from ..errors import MemoryFaultError
+from ..ops import Op
+
+__all__ = ["GlobalMemory", "Region", "SourceBuffer", "OutputBuffer"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous span of the device address space."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class GlobalMemory:
+    """Byte-addressed device memory with a simple region allocator.
+
+    Only the string buffers store real bytes (a bytearray); structured
+    data (nodes, postboxes) keeps Python-level storage and uses regions
+    purely to derive addresses for the cache model. This keeps the
+    simulator fast while preserving address behaviour.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 30) -> None:
+        if size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.size_bytes = size_bytes
+        self._cursor = 0
+        self._regions: dict[str, Region] = {}
+
+    def allocate_region(self, name: str, size: int, align: int = 128) -> Region:
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        base = -(-self._cursor // align) * align
+        if base + size > self.size_bytes:
+            raise MemoryFaultError(
+                f"out of device memory allocating {name!r} "
+                f"({size} B at {base}, capacity {self.size_bytes} B)"
+            )
+        region = Region(name=name, base=base, size=size)
+        self._regions[name] = region
+        self._cursor = base + size
+        return region
+
+    def region(self, name: str) -> Region:
+        return self._regions[name]
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._cursor
+
+
+class SourceBuffer:
+    """The uploaded input string, read char-by-char by the parser.
+
+    Mirrors the paper's parser: "it reads the string character by
+    character". Every read charges one ``CHAR_LOAD`` plus one
+    ``PARSE_STEP`` and touches the cache at the character's address.
+    """
+
+    __slots__ = ("text", "base", "_ctx")
+
+    def __init__(self, text: str, base: int = 0) -> None:
+        self.text = text
+        self.base = base
+        self._ctx: ExecContext | None = None
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def bind(self, ctx: ExecContext) -> "SourceBuffer":
+        self._ctx = ctx
+        return self
+
+    def char_at(self, pos: int) -> str:
+        """Charged single-character load; '\\0' past the end (C-style)."""
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.charge(Op.CHAR_LOAD)
+            ctx.charge(Op.PARSE_STEP)
+            ctx.touch_memory(self.base + pos)
+        if pos >= len(self.text):
+            return "\0"
+        if pos < 0:
+            raise MemoryFaultError(f"negative read at {pos} in source buffer")
+        return self.text[pos]
+
+    def slice(self, start: int, end: int) -> str:
+        """Uncharged substring extraction (characters were already read)."""
+        return self.text[start:end]
+
+
+class OutputBuffer:
+    """The device-side output string under construction.
+
+    The printer appends to it; every character charges ``CHAR_STORE`` +
+    ``PRINT_STEP`` and touches the cache. ``getvalue()`` yields the string
+    the host will read back through the command buffer.
+    """
+
+    __slots__ = ("_parts", "_len", "base", "_ctx", "capacity")
+
+    def __init__(self, base: int = 0, capacity: int = 1 << 20) -> None:
+        self._parts: list[str] = []
+        self._len = 0
+        self.base = base
+        self.capacity = capacity
+        self._ctx: ExecContext | None = None
+
+    def bind(self, ctx: ExecContext) -> "OutputBuffer":
+        self._ctx = ctx
+        return self
+
+    def __len__(self) -> int:
+        return self._len
+
+    def append(self, text: str) -> None:
+        if not text:
+            return
+        n = len(text)
+        if self._len + n > self.capacity:
+            raise MemoryFaultError(
+                f"output buffer overflow ({self._len + n} > {self.capacity} B)"
+            )
+        ctx = self._ctx
+        if ctx is not None:
+            ctx.charge(Op.CHAR_STORE, n)
+            ctx.charge(Op.PRINT_STEP, n)
+            ctx.touch_memory(self.base + self._len, n)
+        self._parts.append(text)
+        self._len += n
+
+    def getvalue(self) -> str:
+        return "".join(self._parts)
+
+    def clear(self) -> None:
+        self._parts.clear()
+        self._len = 0

@@ -1,0 +1,77 @@
+"""Per-thread postboxes (paper Fig. 10/11).
+
+"Each thread has its own, exclusive postbox which is stored in an array
+in global memory." A postbox carries the ``active``/``work``/``sync``
+flags and the ``io`` slot through which the master hands a sub-tree to a
+worker and the worker returns its result. All flag traffic is atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..context import ExecContext
+from ..ops import Op
+from .atomics import AtomicCell
+
+__all__ = ["Postbox", "PostboxArray"]
+
+
+class Postbox:
+    """One worker's mailbox in global memory."""
+
+    __slots__ = ("thread_id", "active", "work", "sync", "io")
+
+    def __init__(self, thread_id: int) -> None:
+        self.thread_id = thread_id
+        self.active = AtomicCell(1)   # 0 => worker loop exits (kernel stop)
+        self.work = AtomicCell(0)     # 1 => a job is waiting in io
+        self.sync = AtomicCell(0)     # master/worker completion handshake
+        self.io: Any = None           # the expression / result sub-tree
+
+    def assign(self, expr: Any, ctx: ExecContext) -> None:
+        """Master side: deposit a job and raise the flags (Fig. 11)."""
+        self.io = expr
+        self.work.store(1, ctx)
+        self.sync.store(1, ctx)
+
+    def complete(self, result: Any, ctx: ExecContext) -> None:
+        """Worker side: deposit result, clear flags."""
+        self.io = result
+        self.work.store(0, ctx)
+        self.sync.store(0, ctx)
+
+    def collect(self, ctx: ExecContext) -> Any:
+        """Master side: read the result back."""
+        ctx.charge(Op.POSTBOX_READ)
+        result = self.io
+        self.io = None
+        return result
+
+    def deactivate(self, ctx: ExecContext) -> None:
+        self.active.store(0, ctx)
+
+
+class PostboxArray:
+    """The global-memory array of postboxes, one per thread in the grid."""
+
+    def __init__(self, n_threads: int) -> None:
+        if n_threads <= 0:
+            raise ValueError("postbox array needs at least one thread")
+        self.boxes = [Postbox(i) for i in range(n_threads)]
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __getitem__(self, thread_id: int) -> Postbox:
+        return self.boxes[thread_id]
+
+    def deactivate_all(self, ctx: ExecContext) -> None:
+        """Master thread terminates: clear every worker's active flag."""
+        for box in self.boxes:
+            box.deactivate(ctx)
+
+    def total_rmw_count(self) -> int:
+        return sum(
+            b.active.rmw_count + b.work.rmw_count + b.sync.rmw_count for b in self.boxes
+        )

@@ -1,0 +1,134 @@
+"""Interactive CuLi REPL (the paper's host-side loop, Fig. 9).
+
+Run with::
+
+    python -m repro.repl --device gtx1080
+    python -m repro.repl --device amd --timings
+
+The host prompt accumulates lines until the parenthesis counts balance
+(the paper's upload gate), submits the command to the simulated device,
+and prints the result that comes back through the command buffer.
+Meta-commands start with a colon: ``:time`` toggles phase timing,
+``:device`` shows the device, ``:room`` asks the device for arena usage,
+``:quit`` stops the kernel and exits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, TextIO
+
+from .errors import CuLiError
+from .runtime.devices import DEVICE_NAMES
+from .runtime.session import CuLiSession
+
+__all__ = ["main", "repl_loop"]
+
+_BANNER = """CuLi — Lisp on (simulated) GPUs  [reproduction of CLUSTER'18]
+device: {device}   base latency: {base:.4f} ms
+type :help for meta-commands, :quit to exit
+"""
+
+_HELP = """meta-commands:
+  :help      this message
+  :time      toggle per-command phase timings
+  :device    show the active device
+  :room      device node-arena usage
+  :quit      stop the device kernel and exit
+"""
+
+
+def repl_loop(
+    session: CuLiSession,
+    stdin: TextIO,
+    stdout: TextIO,
+    show_timings: bool = False,
+    interactive: bool = True,
+) -> int:
+    """Drive the REPL over the given streams; returns an exit code."""
+    write = stdout.write
+    write(_BANNER.format(device=session.device_name, base=session.base_latency_ms))
+    prompt = "culi> "
+    continuation = "....> "
+    current_prompt = prompt
+    while True:
+        if interactive:
+            write(current_prompt)
+            stdout.flush()
+        line = stdin.readline()
+        if not line:  # EOF
+            break
+        stripped = line.strip()
+        if not stripped and not session.pending_input:
+            continue
+        if stripped.startswith(":") and not session.pending_input:
+            if stripped in (":quit", ":q", ":exit"):
+                break
+            if stripped == ":help":
+                write(_HELP)
+            elif stripped == ":time":
+                show_timings = not show_timings
+                write(f"timings {'on' if show_timings else 'off'}\n")
+            elif stripped == ":device":
+                write(f"{session.device_name} (kind: {session.device.kind})\n")
+            elif stripped == ":room":
+                try:
+                    write(session.eval("(room)") + "\n")
+                except CuLiError as exc:
+                    write(f"error: {exc}\n")
+            else:
+                write(f"unknown meta-command {stripped!r} (:help lists them)\n")
+            continue
+        try:
+            stats = session.feed_line(line)
+        except CuLiError as exc:
+            write(f"error: {exc}\n")
+            current_prompt = prompt
+            continue
+        if stats is None:
+            current_prompt = continuation  # waiting for balanced parens
+            continue
+        current_prompt = prompt
+        write(stats.output + "\n")
+        if show_timings:
+            t = stats.times
+            write(
+                f";; parse {t.parse_ms:.4f} ms | eval {t.eval_ms:.4f} ms | "
+                f"print {t.print_ms:.4f} ms | total {t.total_ms:.4f} ms\n"
+            )
+    session.close()
+    write(f"kernel stopped after {len(session.history)} command(s). bye.\n")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.repl",
+        description="Interactive CuLi REPL on a simulated device.",
+    )
+    parser.add_argument(
+        "--device",
+        default="gtx1080",
+        help=f"device name (one of: {', '.join(DEVICE_NAMES)}; aliases accepted)",
+    )
+    parser.add_argument(
+        "--timings", action="store_true", help="print phase timings per command"
+    )
+    args = parser.parse_args(argv)
+    try:
+        session = CuLiSession(args.device)
+    except CuLiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return repl_loop(
+        session,
+        stdin=sys.stdin,
+        stdout=sys.stdout,
+        show_timings=args.timings,
+        interactive=sys.stdin.isatty(),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Runtime glue: device-agnostic sessions, the device registry, workload
+generators, and simulation-fidelity utilities."""
+
+from .fidelity import Fidelity, group_rows, task_signature
+from .devices import available_devices, device_for, DEVICE_NAMES
+from .session import CuLiSession
+
+__all__ = [
+    "Fidelity",
+    "group_rows",
+    "task_signature",
+    "CuLiSession",
+    "available_devices",
+    "device_for",
+    "DEVICE_NAMES",
+]

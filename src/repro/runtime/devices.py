@@ -1,0 +1,80 @@
+"""Device registry: name -> simulated device factory.
+
+Names accept several spellings ("gtx1080", "GTX 1080", "tesla-m40",
+"m40", "intel", "amd") so the CLI tools are forgiving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..cpu.device import CPUDevice, CPUDeviceConfig
+from ..cpu.specs import ALL_CPUS, CPUSpec
+from ..errors import UnknownDeviceError
+from ..gpu.device import GPUDevice, GPUDeviceConfig
+from ..gpu.specs import ALL_GPUS, FUTURE_GPUS, GPUSpec
+
+__all__ = ["available_devices", "device_for", "resolve_spec", "DEVICE_NAMES"]
+
+Device = Union[GPUDevice, CPUDevice]
+Spec = Union[GPUSpec, CPUSpec]
+
+_ALIASES: dict[str, str] = {
+    "c2075": "tesla-c2075",
+    "k20": "tesla-k20",
+    "m40": "tesla-m40",
+    "gtx-480": "gtx480",
+    "gtx-680": "gtx680",
+    "gtx-1080": "gtx1080",
+    "intel": "intel-e5-2620",
+    "e5-2620": "intel-e5-2620",
+    "xeon": "intel-e5-2620",
+    "amd": "amd-6272",
+    "opteron": "amd-6272",
+    "6272": "amd-6272",
+    "v100": "tesla-v100",
+}
+
+DEVICE_NAMES: tuple[str, ...] = tuple(
+    spec.name for spec in (*ALL_GPUS, *FUTURE_GPUS, *ALL_CPUS)
+)
+
+
+def _normalize(name: str) -> str:
+    key = name.strip().lower().replace(" ", "").replace("_", "-")
+    # "gtx 480" -> "gtx480", "tesla c2075" -> "teslac2075" -> fix dashes
+    key = key.replace("teslac", "tesla-c").replace("teslak", "tesla-k")
+    key = key.replace("teslam", "tesla-m")
+    return _ALIASES.get(key, key)
+
+
+def resolve_spec(name: str) -> Spec:
+    key = _normalize(name)
+    for spec in (*ALL_GPUS, *FUTURE_GPUS):
+        if spec.name == key:
+            return spec
+    for spec in ALL_CPUS:
+        if spec.name == key:
+            return spec
+    raise UnknownDeviceError(
+        f"unknown device {name!r}; available: {', '.join(DEVICE_NAMES)}"
+    )
+
+
+def available_devices() -> list[Spec]:
+    """All specs, GPUs first (the paper's Fig. 14/15 ordering)."""
+    return [*ALL_GPUS, *ALL_CPUS]
+
+
+def device_for(
+    name_or_spec: Union[str, Spec],
+    gpu_config: Optional[GPUDeviceConfig] = None,
+    cpu_config: Optional[CPUDeviceConfig] = None,
+) -> Device:
+    """Instantiate a simulated device for a name or a spec."""
+    spec = resolve_spec(name_or_spec) if isinstance(name_or_spec, str) else name_or_spec
+    if isinstance(spec, GPUSpec):
+        return GPUDevice(spec, config=gpu_config)
+    if isinstance(spec, CPUSpec):
+        return CPUDevice(spec, config=cpu_config)
+    raise UnknownDeviceError(f"not a device spec: {name_or_spec!r}")

@@ -1,0 +1,150 @@
+"""CuLiSession: the user-facing REPL protocol around a simulated device.
+
+A session is the host side of the paper's Fig. 9 loop: it sanitizes
+input, refuses to upload until parentheses balance (accumulating partial
+input like the interactive prompt does), submits commands, and exposes
+the timing of each step. The device-side environment persists across
+commands for the lifetime of the session.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..cpu.device import CPUDevice, CPUDeviceConfig
+from ..gpu.device import GPUDevice, GPUDeviceConfig
+from ..gpu.hostlink import parens_balanced, sanitize_input
+from ..gpu.specs import GPUSpec
+from ..cpu.specs import CPUSpec
+from ..timing import CommandStats, PhaseBreakdown
+from .devices import device_for
+
+__all__ = ["CuLiSession"]
+
+
+class CuLiSession:
+    """An interactive CuLi session on a named simulated device.
+
+    >>> sess = CuLiSession("gtx1080")
+    >>> sess.eval("(+ 1 2)")
+    '3'
+    >>> out, times = sess.eval_timed("(* 6 7)")
+    >>> sess.close()
+    """
+
+    def __init__(
+        self,
+        device: Union[str, GPUSpec, CPUSpec] = "gtx1080",
+        gpu_config: Optional[GPUDeviceConfig] = None,
+        cpu_config: Optional[CPUDeviceConfig] = None,
+    ) -> None:
+        self.device = device_for(device, gpu_config=gpu_config, cpu_config=cpu_config)
+        self.history: list[CommandStats] = []
+        self._pending = ""
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def device_name(self) -> str:
+        return self.device.name
+
+    @property
+    def base_latency_ms(self) -> float:
+        return self.device.base_latency_ms
+
+    @property
+    def closed(self) -> bool:
+        return self.device.closed
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def eval_timed(self, source: str) -> tuple[str, PhaseBreakdown]:
+        """Submit one command; returns (output, phase breakdown)."""
+        stats = self.submit(source)
+        return stats.output, stats.times
+
+    def eval(self, source: str) -> str:
+        return self.submit(source).output
+
+    def submit(self, source: str) -> CommandStats:
+        stats = self.device.submit(source)
+        self.history.append(stats)
+        return stats
+
+    def feed_line(self, line: str) -> Optional[CommandStats]:
+        """Interactive-prompt behaviour: accumulate lines until the
+        parenthesis counts balance, then upload (paper: "The host uploads
+        the input to the GPU if the number of opening and closing
+        parentheses is equal"). Returns None while input is incomplete."""
+        self._pending = (self._pending + " " + line).strip() if self._pending else line
+        candidate = sanitize_input(self._pending)
+        if not candidate:
+            self._pending = ""
+            return None
+        if not parens_balanced(candidate):
+            return None
+        self._pending = ""
+        return self.submit(candidate)
+
+    @property
+    def pending_input(self) -> str:
+        return self._pending
+
+    def run_program(self, source: str) -> list[CommandStats]:
+        """Run a multi-form program: each top-level form is one command
+        (strips ';' line comments first — a host-side convenience)."""
+        stats: list[CommandStats] = []
+        for form in split_top_level_forms(source):
+            stats.append(self.submit(form))
+        return stats
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self.device.close()
+
+    def __enter__(self) -> "CuLiSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def split_top_level_forms(source: str) -> list[str]:
+    """Split a program into balanced top-level forms (host-side utility).
+
+    Handles ';' comments and strings; raises nothing — unbalanced input
+    surfaces later through the device's upload gate.
+    """
+    forms: list[str] = []
+    current: list[str] = []
+    level = 0
+    in_string = False
+    in_comment = False
+    for ch in source:
+        if in_comment:
+            if ch == "\n":
+                in_comment = False
+                ch = " "
+            else:
+                continue
+        if ch == '"':
+            in_string = not in_string
+        elif not in_string:
+            if ch == ";":
+                in_comment = True
+                continue
+            if ch == "(":
+                level += 1
+            elif ch == ")":
+                level -= 1
+        current.append(ch)
+        if level == 0 and current and not in_string:
+            text = "".join(current).strip()
+            if text and parens_balanced(text) and text.endswith(")"):
+                forms.append(text)
+                current = []
+    tail = "".join(current).strip()
+    if tail:
+        forms.append(tail)
+    return forms

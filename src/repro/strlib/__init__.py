@@ -1,0 +1,26 @@
+"""CuLi's string library.
+
+The paper: "Since CUDA lacks a string library, we implemented our own
+with functions to parse strings. These functions are also used in the CPU
+tests for comparison reasons." Likewise here: the parser, printer and
+environment lookup all route their character work through these routines,
+so both device back-ends charge identical op mixes.
+"""
+
+from .cstring import str_cmp, str_equal, str_len, str_ncmp, str_copy_into
+from .numparse import classify_atom, looks_numeric, parse_number, AtomClass
+from .numformat import format_float, format_int
+
+__all__ = [
+    "str_len",
+    "str_cmp",
+    "str_ncmp",
+    "str_equal",
+    "str_copy_into",
+    "looks_numeric",
+    "parse_number",
+    "classify_atom",
+    "AtomClass",
+    "format_int",
+    "format_float",
+]

@@ -1,0 +1,55 @@
+"""C-style string primitives with per-character charging.
+
+Semantics follow the C library functions they stand in for; costs follow
+what a device thread would actually execute — one character comparison is
+one ``SYM_CHAR_CMP``, one copied character is one ``CHAR_STORE``.
+"""
+
+from __future__ import annotations
+
+from ..context import ExecContext
+from ..ops import Op
+
+__all__ = ["str_len", "str_cmp", "str_ncmp", "str_equal", "str_copy_into"]
+
+
+def str_len(s: str, ctx: ExecContext) -> int:
+    """strlen: walks to the terminator, one load per character."""
+    ctx.charge(Op.CHAR_LOAD, len(s) + 1)
+    return len(s)
+
+
+def str_cmp(a: str, b: str, ctx: ExecContext) -> int:
+    """strcmp: compares until the first difference (inclusive).
+
+    Returns <0, 0, >0 like C. Charges one ``SYM_CHAR_CMP`` per compared
+    character pair, including the terminating/differing position.
+    """
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    # i compared-equal pairs plus the differing (or terminator) position.
+    ctx.charge(Op.SYM_CHAR_CMP, i + 1)
+    if i < n:
+        return -1 if a[i] < b[i] else 1
+    if len(a) == len(b):
+        return 0
+    return -1 if len(a) < len(b) else 1
+
+
+def str_ncmp(a: str, b: str, n: int, ctx: ExecContext) -> int:
+    """strncmp over the first ``n`` characters."""
+    return str_cmp(a[:n], b[:n], ctx)
+
+
+def str_equal(a: str, b: str, ctx: ExecContext) -> bool:
+    """Equality via strcmp — the form environment lookup uses."""
+    return str_cmp(a, b, ctx) == 0
+
+
+def str_copy_into(dst: list[str], src: str, ctx: ExecContext) -> None:
+    """strcpy into a device-side character list."""
+    ctx.charge(Op.CHAR_LOAD, len(src))
+    ctx.charge(Op.CHAR_STORE, len(src) + 1)  # + terminator
+    dst.extend(src)

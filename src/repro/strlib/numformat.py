@@ -1,0 +1,50 @@
+"""Number formatting for the printer (device-side itoa/ftoa).
+
+Integer formatting is a divide-by-ten loop — one ``IDIV`` per digit,
+which is expensive on Fermi (no fast integer division unit) and is one
+reason printing dominates Fermi kernel time in the reproduction. Float
+formatting uses a %g-style shortest-ish representation.
+"""
+
+from __future__ import annotations
+
+from ..context import ExecContext
+from ..ops import Op
+
+__all__ = ["format_int", "format_float"]
+
+
+def format_int(value: int, ctx: ExecContext) -> str:
+    """itoa: one IDIV + one ALU per produced digit (plus sign handling)."""
+    if value < 0:
+        ctx.charge(Op.ALU)  # negate
+        digits = len(str(-value))
+        ctx.charge(Op.IDIV, digits)
+        ctx.charge(Op.ALU, digits)
+        return str(value)
+    digits = len(str(value))
+    ctx.charge(Op.IDIV, digits)
+    ctx.charge(Op.ALU, digits)
+    return str(value)
+
+
+def format_float(value: float, ctx: ExecContext) -> str:
+    """ftoa in %g spirit: mantissa digits cost FMUL+IDIV each.
+
+    Output normalization: floats always carry a decimal point or an
+    exponent so they re-parse as N_FLOAT (round-trip property, tested
+    with hypothesis).
+    """
+    if value != value:  # NaN
+        ctx.charge(Op.FADD)
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        ctx.charge(Op.FADD)
+        return "inf" if value > 0 else "-inf"
+    text = repr(value)
+    # repr(2.0) == '2.0', repr(1e30) == '1e+30' — both re-parse as floats.
+    if "e" not in text and "E" not in text and "." not in text:
+        text += ".0"
+    ctx.charge(Op.FMUL, len(text))
+    ctx.charge(Op.IDIV, max(1, len(text) - 1))
+    return text

@@ -1,0 +1,66 @@
+"""The paper's claims (C1..C11) hold on the full simulated evaluation.
+
+This is the reproduction's headline test: it runs the complete Fig. 14
+grid and the Fig. 15-18 sweep (1..4096 threads on all eight devices) and
+checks every machine-readable claim extracted from the paper.
+"""
+
+import pytest
+
+from repro.bench.claims import CLAIM_IDS, check_all_claims
+from repro.bench.harness import run_base_latencies, run_sweep
+
+
+@pytest.fixture(scope="module")
+def base():
+    return run_base_latencies()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def test_claim_registry_complete():
+    assert CLAIM_IDS == ("C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9",
+                         "C10", "C11")
+
+
+def test_all_claims_pass_on_full_sweep(base, sweep):
+    results = check_all_claims(base=base, sweep=sweep)
+    assert len(results) == len(CLAIM_IDS)
+    failures = [f"{r.claim_id}: {r.detail}" for r in results if not r.passed]
+    assert not failures, "paper claims violated:\n" + "\n".join(failures)
+
+
+def test_claims_partition(base, sweep):
+    only_base = check_all_claims(base=base)
+    assert [r.claim_id for r in only_base] == ["C1", "C2", "C3"]
+    only_sweep = check_all_claims(sweep=sweep)
+    assert [r.claim_id for r in only_sweep] == [
+        "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11",
+    ]
+
+
+class TestIndividualShapes:
+    """Spot checks on the measured data behind the claims."""
+
+    def test_magnitudes_match_paper_axes(self, sweep):
+        """Fig. 16 axes: parse tops out ~16 ms, eval ~3-4 ms, print ~8 ms,
+        execution ~25-40 ms — our simulated maxima must live there."""
+        at_max = {d: pts[-1].stats.times for d, pts in sweep.items()}
+        assert 10 < max(t.parse_ms for t in at_max.values()) < 20
+        assert 2 < max(t.eval_ms for t in at_max.values()) < 6
+        assert 5 < max(t.print_ms for t in at_max.values()) < 10
+        assert 15 < max(t.kernel_ms for t in at_max.values()) < 40
+
+    def test_base_latency_axis(self, base):
+        """Fig. 14 axis: 0..0.35 ms."""
+        assert 0.2 < max(base.values()) < 0.5
+        assert min(base.values()) < 0.01
+
+    def test_runtime_axis_log_range(self, sweep):
+        """Fig. 15: log axis 0.01..100 ms covers every point."""
+        for points in sweep.values():
+            for p in points:
+                assert 0.001 <= p.total_ms <= 100

@@ -1,0 +1,79 @@
+"""Figure runners produce well-formed tables and data."""
+
+import pytest
+
+from repro.bench.figures import fig14, fig15, fig16, fig17, fig18
+from repro.bench.harness import run_base_latencies, run_sweep
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(
+        devices=["tesla-m40", "gtx1080", "tesla-c2075", "gtx480", "amd"],
+        thread_counts=[1, 32, 4096],
+    )
+
+
+@pytest.fixture(scope="module")
+def base():
+    return run_base_latencies()
+
+
+class TestFig14:
+    def test_renders_every_device(self, base):
+        result = fig14(base)
+        for name in base:
+            assert name in result.text
+        assert result.figure == "Fig.14"
+        assert len(result.claims) == 3
+
+    def test_data_carries_measurements(self, base):
+        result = fig14(base)
+        assert result.data["base_latency_ms"] == base
+
+
+class TestFig15:
+    def test_table_has_thread_columns(self, small_sweep):
+        result = fig15(small_sweep)
+        assert "4096" in result.text
+        assert "gtx1080" in result.text
+
+    def test_data_indexed_by_device_and_threads(self, small_sweep):
+        result = fig15(small_sweep)
+        assert result.data["gtx1080"][4096] > result.data["gtx1080"][1]
+
+
+class TestFig16:
+    def test_four_sections(self, small_sweep):
+        result = fig16(small_sweep)
+        for tag in ("16a", "16b", "16c", "16d"):
+            assert tag in result.text
+        assert set(result.data) == {"16a", "16b", "16c", "16d"}
+
+
+class TestFig17:
+    def test_proportions_sum_to_one(self, small_sweep):
+        result = fig17(small_sweep)
+        for device, props in result.data.items():
+            for n, shares in props.items():
+                assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_claims_attached(self, small_sweep):
+        result = fig17(small_sweep)
+        assert {c.claim_id for c in result.claims} == {"C7", "C8"}
+        assert all(c.passed for c in result.claims)
+
+
+class TestFig18:
+    def test_amd_proportions(self, small_sweep):
+        result = fig18(small_sweep)
+        props = result.data["amd-6272"][4096]
+        assert props["eval"] > 0.5
+        assert result.claims[0].passed
+
+
+class TestRender:
+    def test_render_contains_claim_status(self, base):
+        text = fig14(base).render()
+        assert "[PASS]" in text or "[FAIL]" in text
+        assert "C1" in text

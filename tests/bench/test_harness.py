@@ -1,0 +1,48 @@
+"""The sweep harness."""
+
+from repro.bench.harness import (
+    CPU_NAMES,
+    GPU_NAMES,
+    PAPER_DEVICE_ORDER,
+    run_base_latencies,
+    run_sweep,
+)
+
+
+class TestDeviceOrder:
+    def test_paper_ordering(self):
+        assert PAPER_DEVICE_ORDER[0] == "tesla-c2075"
+        assert PAPER_DEVICE_ORDER[-1] == "amd-6272"
+        assert len(GPU_NAMES) == 6 and len(CPU_NAMES) == 2
+
+
+class TestSweep:
+    def test_small_grid_shape(self):
+        sweep = run_sweep(devices=["gtx480", "intel"], thread_counts=[1, 4, 16])
+        assert set(sweep) == {"gtx480", "intel-e5-2620"}
+        for points in sweep.values():
+            assert [p.threads for p in points] == [1, 4, 16]
+            for p in points:
+                assert p.stats.output.count("5") == p.threads
+                assert p.total_ms > 0
+                assert p.base_latency_ms > 0
+
+    def test_kinds_recorded(self):
+        sweep = run_sweep(devices=["gtx480", "amd"], thread_counts=[2])
+        assert sweep["gtx480"][0].kind == "gpu"
+        assert sweep["amd-6272"][0].kind == "cpu"
+
+    def test_aliases_resolve(self):
+        sweep = run_sweep(devices=["m40"], thread_counts=[1])
+        assert "tesla-m40" in sweep
+
+
+class TestBaseLatencies:
+    def test_all_devices_by_default(self):
+        base = run_base_latencies()
+        assert set(base) == set(PAPER_DEVICE_ORDER)
+        assert all(v > 0 for v in base.values())
+
+    def test_subset(self):
+        base = run_base_latencies(["gtx680", "intel"])
+        assert set(base) == {"gtx680", "intel-e5-2620"}

@@ -1,0 +1,42 @@
+"""The per-op profiler."""
+
+from repro.bench.profile import op_profile, render_op_profile
+
+
+class TestOpProfile:
+    def test_rows_sorted_by_cycles(self, gpu_device):
+        gpu_device.submit("(+ " + " ".join(["1"] * 200) + ")")
+        rows = op_profile(gpu_device)
+        cycles = [r.cycles for r in rows]
+        assert cycles == sorted(cycles, reverse=True)
+        assert all(r.count > 0 for r in rows)
+
+    def test_parse_heavy_command_profiles_char_loads(self, gpu_device):
+        gpu_device.submit("(list " + " ".join(["1"] * 400) + ")")
+        rows = op_profile(gpu_device, top=5)
+        assert any(r.op == "CHAR_LOAD" and r.phase == "PARSE" for r in rows)
+
+    def test_parallel_command_profiles_postboxes(self, gpu_device):
+        gpu_device.submit("(defun s (x) x)")
+        gpu_device.submit("(||| 64 s (" + " ".join(["1"] * 64) + "))")
+        rows = op_profile(gpu_device, top=20)
+        ops = {r.op for r in rows}
+        assert "ATOMIC_RMW" in ops
+        assert "POSTBOX_READ" in ops
+
+    def test_top_limits_rows(self, gpu_device):
+        gpu_device.submit("(* 2 3)")
+        assert len(op_profile(gpu_device, top=3)) == 3
+
+    def test_works_on_cpu_device(self, cpu_device):
+        cpu_device.submit("(* 2 (+ 4 3) 6)")
+        rows = op_profile(cpu_device)
+        assert rows and rows[0].ms >= rows[-1].ms
+
+
+class TestRender:
+    def test_render_contains_header_and_ops(self, gpu_device):
+        gpu_device.submit("(+ 1 2)")
+        text = render_op_profile(gpu_device)
+        assert "Top ops" in text and "gtx480" in text
+        assert "EVAL" in text

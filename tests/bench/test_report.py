@@ -1,0 +1,46 @@
+"""ASCII table/bar-chart rendering."""
+
+import pytest
+
+from repro.bench.report import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "ms"], [["a", 1.23456], ["long-name", 0.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "0.500" in text
+        # All data lines equal width
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_fmt="{:.1f}")
+        assert "0.1" in text
+
+    def test_strings_pass_through(self):
+        text = format_table(["a", "b"], [["xx", 3]])
+        assert "xx" in text and "3" in text
+
+
+class TestFormatBarChart:
+    def test_largest_value_fills_width(self):
+        text = format_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values_have_no_bar(self):
+        text = format_bar_chart(["z"], [0.0])
+        assert "#" not in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_rendered(self):
+        assert "ms" in format_bar_chart(["a"], [1.0], unit=" ms")

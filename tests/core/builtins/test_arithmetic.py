@@ -1,0 +1,122 @@
+"""Arithmetic builtins."""
+
+import pytest
+
+from repro.errors import ArityError, EvalError, TypeMismatchError
+
+
+class TestAdd:
+    def test_basic(self, run):
+        assert run("(+ 1 2 3)") == "6"
+
+    def test_identity(self, run):
+        assert run("(+)") == "0"
+
+    def test_mixed_promotes_to_float(self, run):
+        assert run("(+ 1 0.5)") == "1.5"
+
+    def test_nested(self, run):
+        assert run("(+ (+ 1 2) (+ 3 4))") == "10"
+
+    def test_type_error(self, run):
+        with pytest.raises(TypeMismatchError):
+            run('(+ 1 "two")')
+
+
+class TestSub:
+    def test_binary(self, run):
+        assert run("(- 10 3)") == "7"
+
+    def test_chain(self, run):
+        assert run("(- 10 3 2)") == "5"
+
+    def test_unary_negates(self, run):
+        assert run("(- 4)") == "-4"
+
+    def test_requires_one_arg(self, run):
+        with pytest.raises(ArityError):
+            run("(-)")
+
+
+class TestMul:
+    def test_basic(self, run):
+        assert run("(* 2 3 4)") == "24"
+
+    def test_identity(self, run):
+        assert run("(*)") == "1"
+
+    def test_paper_example(self, run):
+        assert run("(* 2 (+ 4 3) 6)") == "84"
+
+
+class TestDiv:
+    def test_exact_integer(self, run):
+        assert run("(/ 12 4)") == "3"
+
+    def test_inexact_promotes(self, run):
+        assert run("(/ 7 2)") == "3.5"
+
+    def test_float(self, run):
+        assert run("(/ 1.0 4)") == "0.25"
+
+    def test_chain(self, run):
+        assert run("(/ 24 2 3)") == "4"
+
+    def test_reciprocal(self, run):
+        assert run("(/ 4)") == "0.25"
+
+    def test_zero_division(self, run):
+        with pytest.raises(EvalError, match="zero"):
+            run("(/ 5 0)")
+
+
+class TestModRem:
+    def test_mod_sign_follows_divisor(self, run):
+        assert run("(mod 7 3)") == "1"
+        assert run("(mod -7 3)") == "2"
+
+    def test_rem_sign_follows_dividend(self, run):
+        assert run("(rem 7 3)") == "1"
+        assert run("(rem -7 3)") == "-1"
+
+    def test_mod_zero(self, run):
+        with pytest.raises(EvalError):
+            run("(mod 5 0)")
+
+
+class TestMisc:
+    def test_abs(self, run):
+        assert run("(abs -5)") == "5"
+        assert run("(abs 5)") == "5"
+
+    def test_min_max(self, run):
+        assert run("(min 3 1 2)") == "1"
+        assert run("(max 3 1 2)") == "3"
+
+    def test_inc_dec(self, run):
+        assert run("(1+ 41)") == "42"
+        assert run("(1- 43)") == "42"
+
+    def test_expt(self, run):
+        assert run("(expt 2 10)") == "1024"
+        assert run("(expt 4 0.5)") == "2.0"
+
+    def test_sqrt_is_float(self, run):
+        assert run("(sqrt 9)") == "3.0"
+
+    def test_sqrt_negative_rejected(self, run):
+        with pytest.raises(EvalError):
+            run("(sqrt -1)")
+
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("(floor 2.7)", "2"),
+            ("(ceiling 2.1)", "3"),
+            ("(truncate -2.7)", "-2"),
+            ("(round 2.5)", "2"),  # banker's rounding
+            ("(round 3.5)", "4"),
+        ],
+    )
+    def test_rounding(self, run, expr, expected):
+        assert run(expr) == expected

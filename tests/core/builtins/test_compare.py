@@ -1,0 +1,82 @@
+"""Comparison and equality builtins."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+
+
+class TestNumericChains:
+    def test_equal_chain(self, run):
+        assert run("(= 2 2 2)") == "T"
+        assert run("(= 2 2 3)") == "nil"
+
+    def test_lt_chain(self, run):
+        assert run("(< 1 2 3)") == "T"
+        assert run("(< 1 3 2)") == "nil"
+
+    def test_le_ge(self, run):
+        assert run("(<= 1 1 2)") == "T"
+        assert run(">= 1") != ""  # symbol prints as itself, no crash
+        assert run("(>= 3 3 2)") == "T"
+
+    def test_gt(self, run):
+        assert run("(> 3 2 1)") == "T"
+
+    def test_mixed_int_float(self, run):
+        assert run("(= 2 2.0)") == "T"
+        assert run("(< 1 1.5 2)") == "T"
+
+    def test_ne_pairwise(self, run):
+        assert run("(/= 1 2 3)") == "T"
+        assert run("(/= 1 2 1)") == "nil"
+
+    def test_single_arg_is_true(self, run):
+        assert run("(= 5)") == "T"
+        assert run("(< 5)") == "T"
+
+    def test_non_number_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run('(< 1 "2")')
+
+
+class TestEq:
+    def test_same_value_nodes_not_eq(self, run):
+        # Two separately constructed 5s are different nodes.
+        assert run("(eq 5 5)") == "nil"
+
+    def test_same_binding_is_eq(self, run):
+        run("(setq x (list 1))")
+        assert run("(eq x x)") == "T"
+
+    def test_nil_eq_nil(self, run):
+        assert run("(eq nil nil)") == "T"
+        assert run("(eq T T)") == "T"
+
+
+class TestEql:
+    def test_numbers_same_type(self, run):
+        assert run("(eql 5 5)") == "T"
+        assert run("(eql 5.0 5.0)") == "T"
+
+    def test_numbers_different_type(self, run):
+        assert run("(eql 5 5.0)") == "nil"
+
+    def test_symbols(self, run):
+        assert run("(eql 'a 'a)") == "T"
+        assert run("(eql 'a 'b)") == "nil"
+
+
+class TestEqual:
+    def test_lists_structural(self, run):
+        assert run("(equal (list 1 2 (list 3)) (list 1 2 (list 3)))") == "T"
+        assert run("(equal (list 1 2) (list 1 2 3))") == "nil"
+
+    def test_numbers_cross_type(self, run):
+        assert run("(equal 5 5.0)") == "T"
+
+    def test_strings(self, run):
+        assert run('(equal "ab" "ab")') == "T"
+        assert run('(equal "ab" "ac")') == "nil"
+
+    def test_empty_list_vs_nil(self, run):
+        assert run("(equal nil nil)") == "T"

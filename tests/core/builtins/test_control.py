@@ -1,0 +1,128 @@
+"""Control-flow builtins (unevaluated-argument special forms)."""
+
+import pytest
+
+from repro.errors import EvalError, TypeMismatchError
+
+
+class TestQuote:
+    def test_quote_prevents_evaluation(self, run):
+        assert run("(quote (+ 1 2))") == "(+ 1 2)"
+
+    def test_quote_sugar(self, run):
+        assert run("'(+ 1 2)") == "(+ 1 2)"
+        assert run("'x") == "x"
+
+    def test_quoted_symbol_not_looked_up(self, run):
+        run("(setq x 5)")
+        assert run("'x") == "x"
+
+
+class TestIf:
+    def test_then_branch(self, run):
+        assert run("(if (> 2 1) 'yes 'no)") == "yes"
+
+    def test_else_branch(self, run):
+        assert run("(if (< 2 1) 'yes 'no)") == "no"
+
+    def test_missing_else_is_nil(self, run):
+        assert run("(if nil 'yes)") == "nil"
+
+    def test_only_taken_branch_evaluated(self, run):
+        run("(setq hits 0)")
+        run("(if T 1 (setq hits 1))")
+        assert run("hits") == "0"
+
+    def test_empty_list_condition_is_false(self, run):
+        assert run("(if '() 'yes 'no)") == "no"
+
+    def test_zero_condition_is_true(self, run):
+        assert run("(if 0 'yes 'no)") == "yes"
+
+
+class TestCond:
+    def test_first_truthy_clause(self, run):
+        assert run("(cond ((< 3 1) 'a) ((> 3 1) 'b) (T 'c))") == "b"
+
+    def test_fallthrough_default(self, run):
+        assert run("(cond (nil 'a) (T 'default))") == "default"
+
+    def test_no_match_is_nil(self, run):
+        assert run("(cond (nil 'a))") == "nil"
+
+    def test_test_value_returned_without_body(self, run):
+        assert run("(cond ((+ 1 1)))") == "2"
+
+    def test_clause_body_sequence(self, run):
+        run("(setq x 0)")
+        assert run("(cond (T (setq x 1) (setq x 2) 'done))") == "done"
+        assert run("x") == "2"
+
+    def test_malformed_clause(self, run):
+        with pytest.raises(EvalError):
+            run("(cond 5)")
+
+
+class TestWhenUnless:
+    def test_when_true(self, run):
+        assert run("(when (> 2 1) 1 2 3)") == "3"
+
+    def test_when_false(self, run):
+        assert run("(when nil 1)") == "nil"
+
+    def test_unless(self, run):
+        assert run("(unless nil 'ran)") == "ran"
+        assert run("(unless T 'ran)") == "nil"
+
+
+class TestProgn:
+    def test_returns_last(self, run):
+        assert run("(progn 1 2 3)") == "3"
+
+    def test_empty_progn(self, run):
+        assert run("(progn)") == "nil"
+
+    def test_sequences_side_effects(self, run):
+        assert run("(progn (setq a 1) (setq a (+ a 1)) a)") == "2"
+
+
+class TestWhile:
+    def test_counts(self, run):
+        run("(setq i 0)")
+        run("(while (< i 5) (setq i (+ i 1)))")
+        assert run("i") == "5"
+
+    def test_returns_nil(self, run):
+        run("(setq i 0)")
+        assert run("(while (< i 1) (setq i 1))") == "nil"
+
+    def test_false_condition_skips_body(self, run):
+        run("(setq touched nil)")
+        run("(while nil (setq touched T))")
+        assert run("touched") == "nil"
+
+    def test_runaway_loop_aborts(self, interp, ctx):
+        interp.options.max_loop_iterations = 100
+        with pytest.raises(EvalError, match="livelock"):
+            interp.process("(while T 1)", ctx)
+
+
+class TestDotimes:
+    def test_sums(self, run):
+        run("(setq total 0)")
+        run("(dotimes (i 5) (setq total (+ total i)))")
+        assert run("total") == "10"
+
+    def test_zero_iterations(self, run):
+        run("(setq hits 0)")
+        run("(dotimes (i 0) (setq hits 1))")
+        assert run("hits") == "0"
+
+    def test_var_is_loop_local(self, run):
+        run("(setq i 99)")
+        run("(dotimes (i 3) i)")
+        assert run("i") == "99"
+
+    def test_malformed_spec(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(dotimes i 1)")

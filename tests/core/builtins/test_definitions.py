@@ -1,0 +1,120 @@
+"""defun / lambda / let / setq and application utilities."""
+
+import pytest
+
+from repro.errors import EvalError, TypeMismatchError
+
+
+class TestDefun:
+    def test_returns_name_symbol(self, run):
+        assert run("(defun f (x) x)") == "f"
+
+    def test_lands_in_global_env(self, run):
+        # Defined inside a let, still visible globally afterwards.
+        run("(let ((unused 0)) (defun g (x) (* 2 x)))")
+        assert run("(g 21)") == "42"
+
+    def test_redefinition_shadows(self, run):
+        run("(defun h (x) 1)")
+        run("(defun h (x) 2)")
+        assert run("(h 0)") == "2"
+
+    def test_no_parameters(self, run):
+        run("(defun always-5 () 5)")
+        assert run("(always-5)") == "5"
+
+    def test_name_must_be_symbol(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(defun 5 (x) x)")
+
+    def test_params_must_be_symbols(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(defun f (1) 1)")
+
+
+class TestLambda:
+    def test_value_is_callable(self, run):
+        run("(setq sq (lambda (x) (* x x)))")
+        assert run("(funcall sq 8)") == "64"
+
+    def test_immediate_application(self, run):
+        assert run("((lambda (a b) (+ a b)) 3 4)") == "7"
+
+
+class TestLet:
+    def test_basic_binding(self, run):
+        assert run("(let ((x 2) (y 3)) (* x y))") == "6"
+
+    def test_parallel_semantics(self, run):
+        run("(setq x 10)")
+        # In plain let, y's init sees the OUTER x.
+        assert run("(let ((x 1) (y x)) y)") == "10"
+
+    def test_let_star_sequential(self, run):
+        run("(setq x 10)")
+        assert run("(let* ((x 1) (y x)) y)") == "1"
+
+    def test_symbol_only_binding_is_nil(self, run):
+        assert run("(let ((a)) a)") == "nil"
+        assert run("(let (b) b)") == "nil"
+
+    def test_body_sequence(self, run):
+        assert run("(let ((x 1)) (setq x 2) x)") == "2"
+
+    def test_bindings_are_scoped(self, run):
+        run("(let ((local-only 5)) local-only)")
+        assert run("local-only") == "local-only"  # unbound outside
+
+    def test_malformed_bindings(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(let 5 1)")
+
+
+class TestSetq:
+    def test_defines_global(self, run):
+        run("(setq v 42)")
+        assert run("v") == "42"
+
+    def test_returns_value(self, run):
+        assert run("(setq v 7)") == "7"
+
+    def test_pairs(self, run):
+        assert run("(setq a 1 b 2)") == "2"
+        assert run("(+ a b)") == "3"
+
+    def test_updates_nearest(self, run):
+        # The paper: "setq updates the nearest existing symbol ... it can
+        # change a local variable as well as a global one."
+        run("(setq x 1)")
+        assert run("(let ((x 10)) (setq x 20) x)") == "20"
+        assert run("x") == "1"
+
+    def test_updates_global_from_inside_let(self, run):
+        run("(setq y 1)")
+        run("(let ((z 0)) (setq y 99))")
+        assert run("y") == "99"
+
+    def test_odd_arguments_rejected(self, run):
+        with pytest.raises(EvalError):
+            run("(setq a)")
+
+    def test_target_must_be_symbol(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(setq 5 1)")
+
+
+class TestApplication:
+    def test_eval_builtin(self, run):
+        assert run("(eval '(+ 1 2))") == "3"
+
+    def test_eval_through_variable(self, run):
+        run("(setq program '(* 6 7))")
+        assert run("(eval program)") == "42"
+
+    def test_funcall_with_lambda_value(self, run):
+        assert run("(funcall (lambda (x) (+ x 1)) 9)") == "10"
+
+    def test_apply_arity_enforced(self, run):
+        run("(defun two (a b) (+ a b))")
+        with pytest.raises(EvalError):
+            run("(apply 'two (list 1 2 3))")

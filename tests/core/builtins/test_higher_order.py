@@ -1,0 +1,123 @@
+"""Higher-order list builtins (mapcar / reduce / sort / ...)."""
+
+import pytest
+
+from repro.errors import EvalError, TypeMismatchError
+
+
+class TestMapcar:
+    def test_single_list(self, run):
+        run("(defun sq (x) (* x x))")
+        assert run("(mapcar 'sq (list 1 2 3))") == "(1 4 9)"
+
+    def test_builtin_function(self, run):
+        assert run("(mapcar '1+ (list 1 2 3))") == "(2 3 4)"
+
+    def test_lambda(self, run):
+        assert run("(mapcar (lambda (x) (* 2 x)) (list 1 2))") == "(2 4)"
+
+    def test_multiple_lists(self, run):
+        assert run("(mapcar '+ (list 1 2 3) (list 10 20 30))") == "(11 22 33)"
+
+    def test_stops_at_shortest(self, run):
+        assert run("(mapcar '+ (list 1 2 3) (list 10 20))") == "(11 22)"
+
+    def test_empty_list(self, run):
+        assert run("(mapcar '1+ nil)") == "()"
+
+    def test_non_function_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(mapcar 5 (list 1))")
+
+
+class TestReduce:
+    def test_fold(self, run):
+        assert run("(reduce '+ (list 1 2 3 4))") == "10"
+
+    def test_initial_value(self, run):
+        assert run("(reduce '+ (list 1 2 3) 100)") == "106"
+
+    def test_left_associativity(self, run):
+        assert run("(reduce '- (list 10 1 2))") == "7"  # (10-1)-2
+
+    def test_single_element(self, run):
+        assert run("(reduce '+ (list 5))") == "5"
+
+    def test_empty_with_initial(self, run):
+        assert run("(reduce '+ nil 42)") == "42"
+
+    def test_empty_without_initial_rejected(self, run):
+        with pytest.raises(EvalError):
+            run("(reduce '+ nil)")
+
+    def test_compose_with_parallel(self, run):
+        run("(defun sq (x) (* x x))")
+        assert run("(reduce '+ (||| 4 sq (1 2 3 4)))") == "30"
+
+
+class TestFilters:
+    def test_remove_if(self, run):
+        assert run("(remove-if 'evenp (list 1 2 3 4 5))") == "(1 3 5)"
+
+    def test_remove_if_keeps_all(self, run):
+        assert run("(remove-if 'evenp (list 1 3))") == "(1 3)"
+
+    def test_find_if(self, run):
+        assert run("(find-if 'evenp (list 1 3 4 5))") == "4"
+        assert run("(find-if 'evenp (list 1 3 5))") == "nil"
+
+    def test_count_if(self, run):
+        assert run("(count-if 'oddp (list 1 2 3 4 5))") == "3"
+
+
+class TestSort:
+    def test_numbers_default_order(self, run):
+        assert run("(sort (list 3 1 2))") == "(1 2 3)"
+
+    def test_custom_predicate(self, run):
+        assert run("(sort (list 3 1 2) '>)") == "(3 2 1)"
+
+    def test_strings(self, run):
+        assert run('(sort (list "b" "a" "c"))') == '("a" "b" "c")'
+
+    def test_stability(self, run):
+        # Ints equal under the predicate keep their relative order:
+        # sort by (mod x 10); 12 before 2 must stay 12 2.
+        run("(defun mod10< (a b) (< (mod a 10) (mod b 10)))")
+        assert run("(sort (list 12 2 11 1) 'mod10<)") == "(11 1 12 2)"
+
+    def test_empty_and_single(self, run):
+        assert run("(sort nil)") == "()"
+        assert run("(sort (list 1))") == "(1)"
+
+    def test_original_unchanged(self, run):
+        run("(setq data (list 3 1 2))")
+        run("(sort data)")
+        assert run("data") == "(3 1 2)"
+
+    def test_mixed_types_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run('(sort (list 1 "a"))')
+
+
+class TestStructural:
+    def test_nthcdr(self, run):
+        assert run("(nthcdr 2 (list 1 2 3 4))") == "(3 4)"
+        assert run("(nthcdr 0 (list 1))") == "(1)"
+        assert run("(nthcdr 9 (list 1))") == "nil"
+
+    def test_subst(self, run):
+        assert run("(subst 0 'x '(a x (b x)))") == "(a 0 (b 0))"
+
+    def test_subst_numbers(self, run):
+        assert run("(subst 99 2 (list 1 2 (list 2 3)))") == "(1 99 (99 3))"
+
+    def test_iota(self, run):
+        assert run("(iota 4)") == "(0 1 2 3)"
+        assert run("(iota 3 10)") == "(10 11 12)"
+        assert run("(iota 3 0 5)") == "(0 5 10)"
+        assert run("(iota 0)") == "()"
+
+    def test_iota_feeds_parallel(self, run):
+        run("(defun sq (x) (* x x))")
+        assert run("(||| 4 sq (iota 4 1))") == "(1 4 9 16)"

@@ -1,0 +1,38 @@
+"""Device-side output builtins (print / princ / terpri)."""
+
+
+class TestPrint:
+    def test_print_returns_value(self, run):
+        # print's value (20) flows into the addition; its side output
+        # ("\n20 ") lands in the same device buffer before the result.
+        assert run("(+ (print 20) 22)").endswith("42")
+
+    def test_print_emits_into_output(self, run):
+        assert run("(+ (print 20) 22)") == "\n20 42"
+
+    def test_print_output_appears_in_buffer(self, interp, ctx):
+        out = interp.process("(progn (print 7) 'done)", ctx)
+        assert "7" in out and out.endswith("done")
+
+    def test_print_readable_strings(self, interp, ctx):
+        out = interp.process('(progn (print "hi") 0)', ctx)
+        assert '"hi"' in out
+
+
+class TestPrinc:
+    def test_princ_raw_strings(self, interp, ctx):
+        out = interp.process('(progn (princ "hi") 0)', ctx)
+        assert "hi" in out
+        assert '"hi"' not in out.replace(out.split()[-1], "")
+
+    def test_princ_returns_value(self, run):
+        assert run('(princ 5)') == "55"  # princ writes 5, result prints 5
+
+
+class TestTerpri:
+    def test_terpri_newline(self, interp, ctx):
+        out = interp.process("(progn (princ 1) (terpri) (princ 2) 'ok)", ctx)
+        assert "1\n2" in out
+
+    def test_terpri_returns_nil(self, run):
+        assert run("(progn (terpri))").strip() == "nil"

@@ -1,0 +1,126 @@
+"""List builtins: the car/cdr family on CuLi's node chains."""
+
+import pytest
+
+from repro.errors import EvalError, TypeMismatchError
+
+
+class TestCarCdr:
+    def test_car(self, run):
+        assert run("(car (list 1 2 3))") == "1"
+
+    def test_car_of_nil(self, run):
+        assert run("(car nil)") == "nil"
+        assert run("(car '())") == "nil"
+
+    def test_cdr(self, run):
+        assert run("(cdr (list 1 2 3))") == "(2 3)"
+
+    def test_cdr_of_single(self, run):
+        assert run("(cdr (list 1))") == "nil"
+
+    def test_cdr_of_nil(self, run):
+        assert run("(cdr nil)") == "nil"
+
+    def test_car_cdr_compose(self, run):
+        assert run("(car (cdr (cdr (list 1 2 3 4))))") == "3"
+
+    def test_cdr_view_shares_structure_safely(self, run):
+        run("(setq l (list 1 2 3))")
+        assert run("(cdr l)") == "(2 3)"
+        assert run("l") == "(1 2 3)"  # original untouched
+
+    def test_accessor_shorthands(self, run):
+        run("(setq l (list 1 2 3 4))")
+        assert run("(first l)") == "1"
+        assert run("(rest l)") == "(2 3 4)"
+        assert run("(second l)") == "2"
+        assert run("(third l)") == "3"
+        assert run("(cadr l)") == "2"
+        assert run("(cddr l)") == "(3 4)"
+
+    def test_caar_cdar(self, run):
+        run("(setq l (list (list 1 2) 3))")
+        assert run("(caar l)") == "1"
+        assert run("(cdar l)") == "(2)"
+
+
+class TestCons:
+    def test_cons_onto_list(self, run):
+        assert run("(cons 0 (list 1 2))") == "(0 1 2)"
+
+    def test_cons_onto_nil(self, run):
+        assert run("(cons 1 nil)") == "(1)"
+
+    def test_cons_does_not_mutate_tail(self, run):
+        run("(setq tail (list 2 3))")
+        assert run("(cons 1 tail)") == "(1 2 3)"
+        assert run("tail") == "(2 3)"
+
+    def test_no_dotted_pairs(self, run):
+        with pytest.raises(TypeMismatchError, match="pairs"):
+            run("(cons 1 2)")
+
+
+class TestConstruction:
+    def test_list(self, run):
+        assert run("(list 1 (+ 1 1) 3)") == "(1 2 3)"
+
+    def test_empty_list_builtin(self, run):
+        assert run("(list)") == "()"
+
+    def test_append(self, run):
+        assert run("(append (list 1 2) (list 3) (list 4 5))") == "(1 2 3 4 5)"
+
+    def test_append_empty(self, run):
+        assert run("(append)") == "nil"
+        assert run("(append nil (list 1))") == "(1)"
+        assert run("(append (list 1) nil)") == "(1)"
+
+    def test_append_shares_final_list(self, run):
+        run("(setq tail (list 9))")
+        assert run("(append (list 1) tail)") == "(1 9)"
+        assert run("tail") == "(9)"
+
+    def test_append_rejects_non_list(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(append (list 1) 5)")
+
+    def test_reverse(self, run):
+        assert run("(reverse (list 1 2 3))") == "(3 2 1)"
+        assert run("(reverse nil)") == "()"
+
+
+class TestQueries:
+    def test_length(self, run):
+        assert run("(length (list 1 2 3))") == "3"
+        assert run("(length nil)") == "0"
+
+    def test_length_of_string(self, run):
+        assert run('(length "abcd")') == "4"
+
+    def test_nth(self, run):
+        run("(setq l (list 10 20 30))")
+        assert run("(nth 0 l)") == "10"
+        assert run("(nth 2 l)") == "30"
+        assert run("(nth 9 l)") == "nil"
+
+    def test_nth_negative_rejected(self, run):
+        with pytest.raises(EvalError):
+            run("(nth -1 (list 1))")
+
+    def test_last_is_constant_time_pointer(self, run):
+        assert run("(last (list 1 2 3))") == "3"
+        assert run("(last nil)") == "nil"
+
+    def test_member(self, run):
+        assert run("(member 2 (list 1 2 3))") == "(2 3)"
+        assert run("(member 9 (list 1 2 3))") == "nil"
+
+    def test_member_uses_structural_equality(self, run):
+        assert run("(member (list 2) (list (list 1) (list 2)))") == "((2))"
+
+    def test_assoc(self, run):
+        run("(setq table (list (list 'a 1) (list 'b 2)))")
+        assert run("(assoc 'b table)") == "(b 2)"
+        assert run("(assoc 'z table)") == "nil"

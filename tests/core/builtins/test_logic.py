@@ -1,0 +1,48 @@
+"""Short-circuit logic builtins."""
+
+
+class TestAnd:
+    def test_all_truthy_returns_last(self, run):
+        assert run("(and 1 2 3)") == "3"
+
+    def test_nil_short_circuits(self, run):
+        assert run("(and 1 nil 3)") == "nil"
+
+    def test_empty_and_is_true(self, run):
+        assert run("(and)") == "T"
+
+    def test_side_effects_stop_at_nil(self, run):
+        run("(setq hits 0)")
+        run("(and nil (setq hits 1))")
+        assert run("hits") == "0"
+
+
+class TestOr:
+    def test_first_truthy_wins(self, run):
+        assert run("(or nil 2 3)") == "2"
+
+    def test_all_nil(self, run):
+        assert run("(or nil nil)") == "nil"
+
+    def test_empty_or_is_nil(self, run):
+        assert run("(or)") == "nil"
+
+    def test_short_circuit_skips_rest(self, run):
+        run("(setq hits 0)")
+        run("(or 1 (setq hits 1))")
+        assert run("hits") == "0"
+
+
+class TestNot:
+    def test_not_nil(self, run):
+        assert run("(not nil)") == "T"
+
+    def test_not_value(self, run):
+        assert run("(not 5)") == "nil"
+
+    def test_zero_is_truthy(self, run):
+        # Lisp: 0 is true — only nil (and the empty list) is false.
+        assert run("(not 0)") == "nil"
+
+    def test_empty_list_is_falsy(self, run):
+        assert run("(not '())") == "T"

@@ -1,0 +1,48 @@
+"""Transcendental math builtins."""
+
+import math
+
+import pytest
+
+from repro.errors import EvalError
+
+
+class TestUnary:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            ("(sin 0)", 0.0),
+            ("(cos 0)", 1.0),
+            ("(tan 0)", 0.0),
+            ("(exp 0)", 1.0),
+            ("(exp 1)", math.e),
+            ("(log 1)", 0.0),
+            ("(log2 8)", 3.0),
+            ("(log10 1000)", 3.0),
+            ("(tanh 0)", 0.0),
+            ("(atan 0)", 0.0),
+        ],
+    )
+    def test_values(self, run, expr, value):
+        assert float(run(expr)) == pytest.approx(value)
+
+    def test_results_are_floats(self, run):
+        assert "." in run("(cos 0)") or "e" in run("(cos 0)")
+
+    def test_domain_error(self, run):
+        with pytest.raises(EvalError):
+            run("(log 0)")
+        with pytest.raises(EvalError):
+            run("(asin 2)")
+
+
+class TestBinary:
+    def test_atan2(self, run):
+        assert float(run("(atan2 1 1)")) == pytest.approx(math.pi / 4)
+
+    def test_pi_constant(self, run):
+        assert float(run("(pi)")) == pytest.approx(math.pi)
+
+    def test_trig_identity(self, run):
+        out = run("(+ (* (sin 1) (sin 1)) (* (cos 1) (cos 1)))")
+        assert float(out) == pytest.approx(1.0)

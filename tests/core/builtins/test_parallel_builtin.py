@@ -1,0 +1,77 @@
+"""The ||| builtin's semantics (engine-independent: sequential engine)."""
+
+import pytest
+
+from repro.errors import EvalError, TypeMismatchError
+
+
+class TestPaperExample:
+    def test_three_workers_add(self, run):
+        # Paper §III-D: (||| 3 + (1 2 3) (4 5 6)) -> workers compute
+        # (+ 1 4), (+ 2 5), (+ 3 6).
+        assert run("(||| 3 + (1 2 3) (4 5 6))") == "(5 7 9)"
+
+    def test_results_in_distribution_order(self, run):
+        assert run("(||| 4 - (10 20 30 40) (1 2 3 4))") == "(9 18 27 36)"
+
+    def test_user_form(self, run):
+        run("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+        assert run("(||| 4 fib (5 5 5 5))") == "(5 5 5 5)"
+
+    def test_single_worker(self, run):
+        assert run("(||| 1 + (7) (8))") == "(15)"
+
+    def test_single_list(self, run):
+        run("(defun sq (x) (* x x))")
+        assert run("(||| 3 sq (2 3 4))") == "(4 9 16)"
+
+    def test_lambda_distributed(self, run):
+        run("(setq dbl (lambda (x) (* 2 x)))")
+        assert run("(||| 2 dbl (5 6))") == "(10 12)"
+
+    def test_lists_longer_than_n_use_prefix(self, run):
+        assert run("(||| 2 + (1 2 3 4) (10 20 30 40))") == "(11 22)"
+
+    def test_computed_arguments(self, run):
+        run("(setq data (list 1 2 3))")
+        assert run("(||| 3 + data data)") == "(2 4 6)"
+
+
+class TestWorkerEnvironment:
+    def test_workers_see_global_bindings(self, run):
+        run("(setq scale 10)")
+        run("(defun scaled (x) (* scale x))")
+        assert run("(||| 2 scaled (1 2))") == "(10 20)"
+
+    def test_workers_see_call_site_env(self, run):
+        # "The root of this subtree is linked to the environment of the
+        # |||-expression" — call-site lets are visible.
+        run("(defun use-k (x) (+ x k))")
+        assert run("(let ((k 100)) (||| 2 use-k (1 2)))") == "(101 102)"
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self, run):
+        with pytest.raises(EvalError, match="positive"):
+            run("(||| 0 + (1) (2))")
+
+    def test_non_integer_threads(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(||| 1.5 + (1) (2))")
+
+    def test_short_list_rejected(self, run):
+        with pytest.raises(EvalError, match="fewer than"):
+            run("(||| 3 + (1 2) (4 5 6))")
+
+    def test_non_function_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(||| 2 42 (1 2))")
+
+    def test_non_list_argument_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(||| 2 + 5)")
+
+    def test_macro_rejected(self, run):
+        run("(defmacro m (x) x)")
+        with pytest.raises(TypeMismatchError, match="macro"):
+            run("(||| 1 m (1))")

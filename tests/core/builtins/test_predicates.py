@@ -1,0 +1,75 @@
+"""Type and value predicates."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+
+
+class TestTypePredicates:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("(atom 5)", "T"),
+            ("(atom 'sym)", "T"),
+            ("(atom (list 1))", "nil"),
+            ("(atom '())", "T"),  # empty list is an atom in Lisp
+            ("(null nil)", "T"),
+            ("(null '())", "T"),
+            ("(null 0)", "nil"),
+            ("(listp (list 1 2))", "T"),
+            ("(listp nil)", "T"),
+            ("(listp 5)", "nil"),
+            ("(consp (list 1))", "T"),
+            ("(consp '())", "nil"),
+            ("(consp 'x)", "nil"),
+            ("(numberp 3)", "T"),
+            ("(numberp 3.5)", "T"),
+            ('(numberp "3")', "nil"),
+            ("(integerp 3)", "T"),
+            ("(integerp 3.0)", "nil"),
+            ("(floatp 3.0)", "T"),
+            ("(floatp 3)", "nil"),
+            ("(symbolp 'abc)", "T"),
+            ("(symbolp 1)", "nil"),
+            ('(stringp "s")', "T"),
+            ("(stringp 's)", "nil"),
+            ("(functionp 'car)", "nil"),  # the quoted symbol, not the fn
+        ],
+    )
+    def test_predicate(self, run, expr, expected):
+        assert run(expr) == expected
+
+    def test_functionp_on_function_value(self, run):
+        assert run("(functionp +)") == "T"
+        run("(defun f (x) x)")
+        assert run("(functionp f)") == "T"
+        assert run("(functionp (lambda (x) x))") == "T"
+
+
+class TestNumericPredicates:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("(zerop 0)", "T"),
+            ("(zerop 0.0)", "T"),
+            ("(zerop 1)", "nil"),
+            ("(plusp 2)", "T"),
+            ("(plusp -2)", "nil"),
+            ("(minusp -2)", "T"),
+            ("(minusp 2)", "nil"),
+            ("(evenp 4)", "T"),
+            ("(evenp 3)", "nil"),
+            ("(oddp 3)", "T"),
+            ("(oddp 4)", "nil"),
+        ],
+    )
+    def test_predicate(self, run, expr, expected):
+        assert run(expr) == expected
+
+    def test_evenp_requires_integer(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(evenp 2.5)")
+
+    def test_zerop_requires_number(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(zerop 'x)")

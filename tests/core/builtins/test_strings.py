@@ -1,0 +1,68 @@
+"""String builtins (built on the device string library)."""
+
+import pytest
+
+from repro.errors import EvalError, TypeMismatchError
+
+
+class TestStringOps:
+    def test_append(self, run):
+        assert run('(string-append "foo" "bar")') == '"foobar"'
+
+    def test_append_empty(self, run):
+        assert run("(string-append)") == '""'
+
+    def test_length(self, run):
+        assert run('(string-length "hello")') == "5"
+        assert run('(string-length "")') == "0"
+
+    def test_substring(self, run):
+        assert run('(substring "hello" 1 3)') == '"el"'
+
+    def test_substring_to_end(self, run):
+        assert run('(substring "hello" 2)') == '"llo"'
+
+    def test_substring_bad_range(self, run):
+        with pytest.raises(EvalError):
+            run('(substring "abc" 2 1)')
+        with pytest.raises(EvalError):
+            run('(substring "abc" 0 9)')
+
+    def test_equality(self, run):
+        assert run('(string= "ab" "ab")') == "T"
+        assert run('(string= "ab" "aB")') == "nil"
+
+    def test_ordering(self, run):
+        assert run('(string< "abc" "abd")') == "T"
+        assert run('(string< "b" "a")') == "nil"
+
+    def test_case_conversion(self, run):
+        assert run('(string-upcase "MiXeD")') == '"MIXED"'
+        assert run('(string-downcase "MiXeD")') == '"mixed"'
+
+    def test_type_errors(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(string-length 5)")
+
+
+class TestConversions:
+    def test_symbol_name(self, run):
+        assert run("(symbol-name 'foo)") == '"foo"'
+
+    def test_symbol_name_rejects_non_symbol(self, run):
+        with pytest.raises(TypeMismatchError):
+            run('(symbol-name "already-a-string")')
+
+    def test_number_to_string(self, run):
+        assert run("(number-to-string 42)") == '"42"'
+        assert run("(number-to-string 2.5)") == '"2.5"'
+
+    def test_string_to_number(self, run):
+        assert run('(string-to-number "42")') == "42"
+        assert run('(string-to-number "2.5")') == "2.5"
+
+    def test_string_to_number_failure_is_nil(self, run):
+        assert run('(string-to-number "abc")') == "nil"
+
+    def test_roundtrip(self, run):
+        assert run('(string-to-number (number-to-string 123))') == "123"

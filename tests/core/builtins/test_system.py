@@ -1,0 +1,29 @@
+"""Introspection builtins."""
+
+
+class TestTypeOf:
+    def test_types(self, run):
+        assert run("(type-of 5)") == "integer"
+        assert run("(type-of 5.0)") == "float"
+        assert run('(type-of "s")') == "string"
+        assert run("(type-of 'x)") == "symbol"
+        assert run("(type-of (list 1))") == "list"
+        assert run("(type-of nil)") == "nil"
+        assert run("(type-of +)") == "function"
+
+    def test_form_type(self, run):
+        run("(defun f (x) x)")
+        assert run("(type-of f)") == "form"
+
+
+class TestRoom:
+    def test_reports_usage(self, run):
+        out = run("(room)")
+        assert "nodes used" in out
+        assert "peak" in out
+
+
+class TestBuiltinCount:
+    def test_positive(self, run):
+        count = int(run("(builtin-count)"))
+        assert count >= 80  # the dialect ships a substantial library

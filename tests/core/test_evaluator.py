@@ -1,0 +1,143 @@
+"""The recursive evaluator (paper §III-B-c)."""
+
+import pytest
+
+from repro.context import NullContext
+from repro.errors import ArityError, EvalError, RecursionDepthError
+
+
+class TestSelfEvaluation:
+    def test_numbers(self, run):
+        assert run("42") == "42"
+        assert run("2.5") == "2.5"
+
+    def test_strings(self, run):
+        assert run('"abc"') == '"abc"'
+
+    def test_nil_t(self, run):
+        assert run("nil") == "nil"
+        assert run("T") == "T"
+
+
+class TestSymbols:
+    def test_bound_symbol_replaced(self, run):
+        run("(setq x 10)")
+        assert run("x") == "10"
+
+    def test_unbound_symbol_stays(self, run):
+        # Late binding: "If there is no matching symbol, the symbol is
+        # not replaced."
+        assert run("mystery") == "mystery"
+
+    def test_first_occurrence_wins(self, run):
+        run("(setq x 1)")
+        assert run("(let ((x 2)) x)") == "2"
+        assert run("x") == "1"
+
+
+class TestListEvaluation:
+    def test_empty_list_is_nil(self, run):
+        assert run("(())") == "(nil)"  # inner () evaluates to nil
+
+    def test_non_call_list_evaluates_elementwise(self, run):
+        run("(setq a 5)")
+        assert run("(a 1 2)") == "(5 1 2)"
+
+    def test_literal_number_list(self, run):
+        assert run("(1 2 3)") == "(1 2 3)"
+
+    def test_nested_call_inside_data_list(self, run):
+        assert run("((+ 1 2) 9)") == "(3 9)"
+
+    def test_expression_with_builtin(self, run):
+        assert run("(* 2 (+ 4 3) 6)") == "84"  # the paper's own example
+
+
+class TestForms:
+    def test_defun_and_call(self, run):
+        run("(defun add3 (a b c) (+ a b c))")
+        assert run("(add3 1 2 3)") == "6"
+
+    def test_recursion(self, run):
+        run("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+        assert run("(fib 10)") == "55"
+
+    def test_fifth_fibonacci_paper_workload(self, run):
+        run("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+        assert run("(fib 5)") == "5"
+
+    def test_multi_form_body_returns_last(self, run):
+        run("(defun f (x) (+ x 1) (* x 10))")
+        assert run("(f 4)") == "40"
+
+    def test_arity_error(self, run):
+        run("(defun g (a b) (+ a b))")
+        with pytest.raises(ArityError):
+            run("(g 1)")
+        with pytest.raises(ArityError):
+            run("(g 1 2 3)")
+
+    def test_lambda_applied_in_head_position(self, run):
+        assert run("((lambda (x) (* x x)) 7)") == "49"
+
+    def test_parameters_shadow_globals(self, run):
+        run("(setq n 100)")
+        run("(defun twice (n) (* 2 n))")
+        assert run("(twice 3)") == "6"
+        assert run("n") == "100"
+
+    def test_dynamic_scoping(self, run):
+        # The form's environment chains to the CALL SITE (see DESIGN.md):
+        # a free variable in the body sees the caller's binding.
+        run("(defun get-free () free)")
+        assert run("(let ((free 42)) (get-free))") == "42"
+
+    def test_empty_body_rejected_at_definition(self, run):
+        # Caught by the arity contract (defun needs name, params, body).
+        with pytest.raises(EvalError):
+            run("(defun bad (x))")
+
+
+class TestRecursionLimit:
+    def test_depth_guard(self, interp):
+        ctx = NullContext(max_depth=64)
+        interp.process("(defun loop-forever (n) (loop-forever (+ n 1)))", ctx)
+        with pytest.raises(RecursionDepthError):
+            interp.process("(loop-forever 0)", ctx)
+
+    def test_shallow_recursion_fits(self, interp):
+        ctx = NullContext(max_depth=512)
+        interp.process(
+            "(defun count-down (n) (if (< n 1) 0 (count-down (- n 1))))", ctx
+        )
+        assert interp.process("(count-down 20)", ctx) == "0"
+
+
+class TestApplyCallable:
+    def test_funcall_builtin(self, run):
+        assert run("(funcall '+ 1 2 3)") == "6"
+
+    def test_funcall_form(self, run):
+        run("(defun sq (x) (* x x))")
+        assert run("(funcall 'sq 6)") == "36"
+
+    def test_apply_with_list(self, run):
+        assert run("(apply '+ (list 1 2 3 4))") == "10"
+
+    def test_apply_noncallable_rejected(self, run):
+        with pytest.raises(EvalError):
+            run("(funcall 5 1)")
+
+
+class TestCopyOnLink:
+    def test_shared_value_in_two_lists(self, run):
+        """Appending one env-bound value into several result lists must
+        not corrupt any list's sibling chain."""
+        run("(setq v 9)")
+        assert run("(list v v v)") == "(9 9 9)"
+        assert run("(list 1 v 2)") == "(1 9 2)"
+        assert run("v") == "9"
+
+    def test_nil_singleton_survives_linking(self, run):
+        assert run("(list nil nil)") == "(nil nil)"
+        assert run("nil") == "nil"

@@ -1,0 +1,55 @@
+"""Macros (the paper: "Our system supports ... macros")."""
+
+import pytest
+
+from repro.errors import ArityError
+
+
+class TestDefmacro:
+    def test_definition_returns_name(self, run):
+        assert run("(defmacro noop (x) x)") == "noop"
+
+    def test_expansion_is_evaluated(self, run):
+        run("(defmacro add1 (x) (list '+ x 1))")
+        assert run("(add1 41)") == "42"
+
+    def test_macro_sees_unevaluated_args(self, run):
+        # The macro receives the FORM (f 1), not its value.
+        run("(defmacro head-symbol (form) (list 'quote (car form)))")
+        assert run("(head-symbol (undefined-fn 1 2))") == "undefined-fn"
+
+    def test_double_evaluation_side_effect(self, run):
+        run("(setq counter 0)")
+        run("(defmacro twice (x) (list 'progn x x))")
+        run("(twice (setq counter (+ counter 1)))")
+        assert run("counter") == "2"
+
+    def test_arity_checked(self, run):
+        run("(defmacro m2 (a b) (list '+ a b))")
+        with pytest.raises(ArityError):
+            run("(m2 1)")
+
+
+class TestMacroexpand:
+    def test_macroexpand_1_shows_expansion(self, run):
+        run("(defmacro add1 (x) (list '+ x 1))")
+        assert run("(macroexpand-1 '(add1 5))") == "(+ 5 1)"
+
+    def test_macroexpand_1_of_non_macro_is_identity(self, run):
+        assert run("(macroexpand-1 '(+ 1 2))") == "(+ 1 2)"
+        assert run("(macroexpand-1 '7)") == "7"
+
+
+class TestMacroComposition:
+    def test_macro_generating_defun(self, run):
+        run(
+            "(defmacro defsquare (name) "
+            "  (list 'defun name '(x) '(* x x)))"
+        )
+        run("(defsquare mysq)")
+        assert run("(mysq 12)") == "144"
+
+    def test_when_like_macro(self, run):
+        run("(defmacro mywhen (test body) (list 'if test body 'nil))")
+        assert run("(mywhen (> 3 1) 99)") == "99"
+        assert run("(mywhen (< 3 1) 99)") == "nil"

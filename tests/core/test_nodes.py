@@ -1,0 +1,103 @@
+"""Node structure and immutability (paper §III-A)."""
+
+import pytest
+
+from repro.core.nodes import NODE_BYTES, Node, NodeType
+from repro.errors import ImmutabilityError
+
+
+def make(ntype=NodeType.N_INT, idx=0):
+    return Node(idx, ntype)
+
+
+class TestSealing:
+    def test_sealed_node_rejects_value_writes(self):
+        node = make().set_int(5).seal()
+        with pytest.raises(ImmutabilityError):
+            node.set_int(6)
+
+    def test_sealed_list_rejects_new_children(self):
+        lst = make(NodeType.N_LIST)
+        lst.append_child(make(NodeType.N_INT, 1))
+        lst.seal()
+        with pytest.raises(ImmutabilityError):
+            lst.append_child(make(NodeType.N_INT, 2))
+
+    def test_all_setters_guarded(self):
+        node = make(NodeType.N_FORM).seal()
+        for call in (
+            lambda: node.set_int(1),
+            lambda: node.set_float(1.0),
+            lambda: node.set_str("x"),
+            lambda: node.set_params(make(NodeType.N_LIST, 9)),
+        ):
+            with pytest.raises(ImmutabilityError):
+                call()
+
+    def test_unsealed_node_is_mutable(self):
+        node = make()
+        node.set_int(1).set_int(2)
+        assert node.ival == 2
+
+
+class TestListStructure:
+    def test_append_child_builds_chain(self):
+        lst = make(NodeType.N_LIST)
+        kids = [make(NodeType.N_INT, i + 1).set_int(i) for i in range(3)]
+        for kid in kids:
+            lst.append_child(kid)
+        assert lst.first is kids[0]
+        assert lst.last is kids[2]
+        assert [c.ival for c in lst.children()] == [0, 1, 2]
+
+    def test_append_marks_child_linked(self):
+        lst = make(NodeType.N_LIST)
+        kid = make(NodeType.N_INT, 1)
+        assert not kid.linked
+        lst.append_child(kid)
+        assert kid.linked
+
+    def test_child_count(self):
+        lst = make(NodeType.N_LIST)
+        assert lst.child_count() == 0
+        lst.append_child(make(NodeType.N_INT, 1))
+        lst.append_child(make(NodeType.N_INT, 2))
+        assert lst.child_count() == 2
+
+
+class TestClassification:
+    def test_primitive_types(self):
+        for t in (NodeType.N_NIL, NodeType.N_TRUE, NodeType.N_INT, NodeType.N_FLOAT,
+                  NodeType.N_STRING, NodeType.N_SYMBOL, NodeType.N_FUNCTION):
+            assert make(t).is_primitive
+        for t in (NodeType.N_LIST, NodeType.N_EXPRESSION, NodeType.N_FORM):
+            assert not make(t).is_primitive
+
+    def test_list_like(self):
+        assert make(NodeType.N_LIST).is_list_like
+        assert make(NodeType.N_EXPRESSION).is_list_like
+        assert not make(NodeType.N_FORM).is_list_like
+
+    def test_callable(self):
+        for t in (NodeType.N_FUNCTION, NodeType.N_FORM, NodeType.N_MACRO):
+            assert make(t).is_callable
+        assert not make(NodeType.N_SYMBOL).is_callable
+
+    def test_truthiness_only_nil_false(self):
+        assert not make(NodeType.N_NIL).is_truthy
+        assert make(NodeType.N_INT).is_truthy
+        assert make(NodeType.N_LIST).is_truthy  # raw datum, not evaluated
+
+
+class TestValues:
+    def test_number_property(self):
+        assert make(NodeType.N_INT).set_int(42).number == 42
+        assert make(NodeType.N_FLOAT).set_float(2.5).number == 2.5
+        with pytest.raises(TypeError):
+            make(NodeType.N_SYMBOL).number
+
+    def test_addr_derives_from_index(self):
+        assert make(idx=3).addr == 3 * NODE_BYTES
+
+    def test_repr_mentions_type(self):
+        assert "N_INT" in repr(make(NodeType.N_INT).set_int(7))

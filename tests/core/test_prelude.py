@@ -1,0 +1,85 @@
+"""The CuLi-in-CuLi prelude library."""
+
+import pytest
+
+from repro.core.prelude import PRELUDE_FILENAME, install_prelude
+from repro.runtime.session import CuLiSession
+
+
+@pytest.fixture(scope="module")
+def sess():
+    session = CuLiSession("gtx480")
+    assert install_prelude(session) == "prelude-loaded"
+    yield session
+    session.close()
+
+
+class TestNumeric:
+    def test_sum_product_mean(self, sess):
+        assert sess.eval("(sum (list 1 2 3 4))") == "10"
+        assert sess.eval("(product (list 1 2 3 4))") == "24"
+        assert sess.eval("(mean (list 2 4 6))") == "4"
+
+    def test_gcd_lcm(self, sess):
+        assert sess.eval("(gcd2 12 18)") == "6"
+        assert sess.eval("(gcd2 17 5)") == "1"
+        assert sess.eval("(lcm2 4 6)") == "12"
+
+    def test_fact(self, sess):
+        assert sess.eval("(fact 6)") == "720"
+        assert sess.eval("(fact 0)") == "1"
+
+    def test_fib_matches_paper_workload(self, sess):
+        assert sess.eval("(fib 5)") == "5"
+        assert sess.eval("(||| 4 fib (5 5 5 5))") == "(5 5 5 5)"
+
+
+class TestLists:
+    def test_take_drop(self, sess):
+        assert sess.eval("(take 2 (list 1 2 3 4))") == "(1 2)"
+        assert sess.eval("(take 9 (list 1))") == "(1)"
+        assert sess.eval("(drop 2 (list 1 2 3 4))") == "(3 4)"
+
+    def test_range(self, sess):
+        assert sess.eval("(range 4)") == "(0 1 2 3)"
+
+    def test_flatten(self, sess):
+        assert sess.eval("(flatten (list 1 (list 2 (list 3)) 4))") == "(1 2 3 4)"
+        assert sess.eval("(flatten nil)") == "nil"
+
+    def test_zip(self, sess):
+        assert sess.eval("(zip (list 1 2) (list 'a 'b))") == "((1 a) (2 b))"
+        assert sess.eval("(zip (list 1 2 3) (list 'a))") == "((1 a))"
+
+    def test_assoc_set(self, sess):
+        sess.eval("(setq tbl (list (list 'x 1) (list 'y 2)))")
+        assert sess.eval("(assoc 'x (assoc-set 'x 9 tbl))") == "(x 9)"
+        assert sess.eval("(assoc 'y (assoc-set 'x 9 tbl))") == "(y 2)"
+
+    def test_quantifiers(self, sess):
+        assert sess.eval("(all-p 'evenp (list 2 4 6))") == "T"
+        assert sess.eval("(all-p 'evenp (list 2 3))") == "nil"
+        assert sess.eval("(any-p 'oddp (list 2 3))") == "T"
+        assert sess.eval("(any-p 'oddp (list 2 4))") == "nil"
+
+    def test_caddr(self, sess):
+        assert sess.eval("(caddr (list 1 2 3 4))") == "3"
+
+
+class TestMacros:
+    def test_incf_decf(self, sess):
+        sess.eval("(setq counter 10)")
+        sess.eval("(incf counter)")
+        sess.eval("(incf counter)")
+        sess.eval("(decf counter)")
+        assert sess.eval("counter") == "11"
+
+
+class TestLoadMechanism:
+    def test_prelude_arrives_as_file(self, sess):
+        assert sess.eval(f'(file-exists? "{PRELUDE_FILENAME}")') == "T"
+
+    def test_works_on_cpu_device(self):
+        with CuLiSession("intel") as cpu:
+            assert install_prelude(cpu) == "prelude-loaded"
+            assert cpu.eval("(sum (range 5))") == "10"

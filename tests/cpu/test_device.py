@@ -1,0 +1,72 @@
+"""The CPU device (the paper's pthreads build)."""
+
+import pytest
+
+from repro.errors import DeviceShutdownError, UnbalancedInputError
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+
+
+class TestLifecycle:
+    def test_base_latency_tiny(self, cpu_device):
+        # No CUDA context: microseconds, not hundreds of microseconds.
+        assert cpu_device.base_latency_ms < 0.01
+
+    def test_close_then_submit_raises(self, cpu_device):
+        cpu_device.close()
+        with pytest.raises(DeviceShutdownError):
+            cpu_device.submit("1")
+
+
+class TestSubmission:
+    def test_basic(self, cpu_device):
+        assert cpu_device.submit("(* 6 7)").output == "42"
+
+    def test_persistent_env(self, cpu_device):
+        cpu_device.submit(FIB)
+        assert cpu_device.submit("(fib 10)").output == "55"
+
+    def test_parallel_output_matches(self, cpu_device):
+        cpu_device.submit(FIB)
+        stats = cpu_device.submit("(||| 5 fib (5 5 5 5 5))")
+        assert stats.output == "(5 5 5 5 5)"
+        assert stats.jobs == 5
+
+    def test_unbalanced_refused(self, cpu_device):
+        with pytest.raises(UnbalancedInputError):
+            cpu_device.submit("(+ 1")
+
+
+class TestTiming:
+    def test_no_pcie_transfer(self, cpu_device):
+        t = cpu_device.submit("(+ 1 2)").times
+        assert t.transfer_ms == 0.0
+
+    def test_phase_times_positive(self, cpu_device):
+        t = cpu_device.submit("(* 2 (+ 4 3) 6)").times
+        assert t.parse_ms > 0 and t.eval_ms > 0 and t.print_ms > 0
+
+    def test_cpu_spin_energy_is_zero(self, cpu_device):
+        """CPU workers sleep on condvars; no busy-wait energy burn."""
+        cpu_device.submit(FIB)
+        t = cpu_device.submit("(||| 4 fib (5 5 5 5))").times
+        assert t.spin_cycles == 0.0
+
+
+class TestWaves:
+    def test_jobs_beyond_hw_threads_take_waves(self, cpu_device):
+        # Intel: 12 hardware threads; 30 jobs -> 3 waves.
+        cpu_device.submit(FIB)
+        stats = cpu_device.submit("(||| 30 fib (" + " ".join(["5"] * 30) + "))")
+        assert stats.rounds == 3
+
+    def test_wave_count_on_amd(self, amd_device):
+        amd_device.submit(FIB)
+        stats = amd_device.submit("(||| 64 fib (" + " ".join(["5"] * 64) + "))")
+        assert stats.rounds == 1
+
+    def test_more_waves_more_worker_time(self, cpu_device):
+        cpu_device.submit(FIB)
+        t12 = cpu_device.submit("(||| 12 fib (" + " ".join(["5"] * 12) + "))").times
+        t48 = cpu_device.submit("(||| 48 fib (" + " ".join(["5"] * 48) + "))").times
+        assert t48.worker_ms == pytest.approx(4 * t12.worker_ms, rel=0.05)

@@ -1,0 +1,60 @@
+"""The pthread-pool ||| engine."""
+
+import pytest
+
+from repro.cpu.device import CPUDevice, CPUDeviceConfig
+from repro.cpu.specs import INTEL_E5_2620
+from repro.runtime.fidelity import Fidelity
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+
+
+@pytest.fixture
+def full_cpu():
+    device = CPUDevice(INTEL_E5_2620, config=CPUDeviceConfig(fidelity=Fidelity.FULL))
+    yield device
+    device.close()
+
+
+class TestEngineAccounting:
+    def test_distribute_and_collect_cycles(self, cpu_device):
+        cpu_device.submit(FIB)
+        cpu_device.submit("(||| 6 fib (5 5 5 5 5 5))")
+        engine = cpu_device.engine
+        assert engine.distribute_cycles > 0
+        assert engine.collect_cycles > 0
+        assert engine.worker_wall_cycles > 0
+        assert engine.jobs == 6
+
+    def test_begin_command_resets(self, cpu_device):
+        cpu_device.submit(FIB)
+        cpu_device.submit("(||| 4 fib (5 5 5 5))")
+        cpu_device.submit("(+ 1 2)")  # no ||| here
+        assert cpu_device.engine.jobs == 0
+        assert cpu_device.engine.worker_wall_cycles == 0
+
+
+class TestFidelity:
+    def test_full_and_warp_agree(self, cpu_device, full_cpu):
+        for device in (cpu_device, full_cpu):
+            device.submit(FIB)
+        cmd = "(||| 24 fib (" + " ".join(["5"] * 24) + "))"
+        a = cpu_device.submit(cmd)
+        b = full_cpu.submit(cmd)
+        assert a.output == b.output
+        assert a.times.worker_ms == pytest.approx(b.times.worker_ms, rel=0.02)
+
+    def test_no_warp_rounding_on_cpu(self, cpu_device):
+        """CPUs have no warps: 13 jobs on 12 threads = 2 waves, and the
+        second wave holds exactly one job."""
+        cpu_device.submit(FIB)
+        stats = cpu_device.submit("(||| 13 fib (" + " ".join(["5"] * 13) + "))")
+        assert stats.rounds == 2
+
+
+class TestNested:
+    def test_nested_parallel_falls_back(self, cpu_device):
+        cpu_device.submit("(defun inner (x) (car (||| 1 + (5) (6))))")
+        stats = cpu_device.submit("(||| 2 inner (0 0))")
+        assert stats.output == "(11 11)"
+        assert cpu_device.engine.nested_fallbacks >= 1

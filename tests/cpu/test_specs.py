@@ -1,0 +1,36 @@
+"""CPU specifications (the paper's two baseline systems)."""
+
+import pytest
+
+from repro.cpu.specs import ALL_CPUS, AMD_6272, CPU_BY_NAME, INTEL_E5_2620
+
+
+class TestCatalog:
+    def test_two_cpus(self):
+        assert len(ALL_CPUS) == 2
+        assert set(CPU_BY_NAME) == {"intel-e5-2620", "amd-6272"}
+
+    def test_intel_is_6c12t(self):
+        # "Intel Xeon E5-2620 CPU (6 core + hyperthreads, 2.00 GHz)"
+        assert INTEL_E5_2620.cores == 6
+        assert INTEL_E5_2620.hw_threads == 12
+        assert INTEL_E5_2620.clock_ghz == 2.00
+
+    def test_amd_is_4x16(self):
+        # "four AMD 6272 CPUs (64 cores, 1.8 GHz and 128 GiB DDR3 RAM)"
+        assert AMD_6272.sockets == 4
+        assert AMD_6272.cores == 64
+        assert AMD_6272.hw_threads == 64
+        assert AMD_6272.clock_ghz == 1.80
+        assert AMD_6272.ram_gib == 128
+
+
+class TestDerived:
+    def test_cycles_to_ms(self):
+        assert INTEL_E5_2620.cycles_to_ms(2.0e6) == pytest.approx(1.0)
+
+    def test_requires_cost_table(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(INTEL_E5_2620, costs=None)

@@ -1,0 +1,64 @@
+"""Atomic cells and counters."""
+
+from repro.context import CountingContext
+from repro.gpu.atomics import AtomicCell, AtomicCounter
+from repro.ops import Op
+
+
+class TestAtomicCell:
+    def test_load_store(self):
+        ctx = CountingContext()
+        cell = AtomicCell(3)
+        assert cell.load(ctx) == 3
+        cell.store(7, ctx)
+        assert cell.load(ctx) == 7
+        assert cell.rmw_count == 1
+        assert cell.load_count == 2
+
+    def test_exchange(self):
+        ctx = CountingContext()
+        cell = AtomicCell(1)
+        assert cell.exchange(2, ctx) == 1
+        assert cell.value == 2
+
+    def test_cas_success_and_failure(self):
+        ctx = CountingContext()
+        cell = AtomicCell(5)
+        assert cell.compare_and_swap(5, 9, ctx) == 5
+        assert cell.value == 9
+        assert cell.compare_and_swap(5, 11, ctx) == 9  # expected mismatch
+        assert cell.value == 9
+
+    def test_charging(self):
+        ctx = CountingContext()
+        cell = AtomicCell()
+        cell.store(1, ctx)
+        cell.load(ctx)
+        assert ctx.counts.count_of(Op.ATOMIC_RMW) == 1
+        assert ctx.counts.count_of(Op.ATOMIC_LOAD) == 1
+
+
+class TestAtomicCounter:
+    def test_fetch_add(self):
+        ctx = CountingContext()
+        counter = AtomicCounter()
+        assert counter.fetch_add(3, ctx) == 0
+        assert counter.fetch_add(2, ctx) == 3
+        assert counter.value == 5
+
+    def test_contended_serialization_cost(self):
+        """k simultaneous RMWs serialize: average wait (k+1)/2 slots."""
+        ctx = CountingContext()
+        counter = AtomicCounter()
+        counter.fetch_add_contended(1, ctx, width=31)
+        assert ctx.counts.count_of(Op.ATOMIC_RMW) == 16.0
+
+    def test_contended_with_single_thread_is_plain(self):
+        ctx = CountingContext()
+        AtomicCounter().fetch_add_contended(1, ctx, width=1)
+        assert ctx.counts.count_of(Op.ATOMIC_RMW) == 1.0
+
+    def test_width_floor(self):
+        ctx = CountingContext()
+        AtomicCounter().fetch_add_contended(1, ctx, width=0)
+        assert ctx.counts.count_of(Op.ATOMIC_RMW) == 1.0

@@ -1,0 +1,69 @@
+"""The calibrated cost tables encode the paper's architecture trends."""
+
+from repro.gpu.costs import ARCH_COSTS, CPU_AMD_COSTS, CPU_INTEL_COSTS, Arch
+from repro.ops import Op
+
+FERMI = ARCH_COSTS[Arch.FERMI]
+KEPLER = ARCH_COSTS[Arch.KEPLER]
+MAXWELL = ARCH_COSTS[Arch.MAXWELL]
+PASCAL = ARCH_COSTS[Arch.PASCAL]
+
+
+class TestPaperTrends:
+    def test_fermi_parses_cheapest_per_char(self):
+        """Fig. 17b: Fermi's per-character parse cost is far below the
+        newer architectures'."""
+        fermi = FERMI.cost_of(Op.CHAR_LOAD) + FERMI.cost_of(Op.PARSE_STEP)
+        for table in (KEPLER, MAXWELL, PASCAL):
+            newer = table.cost_of(Op.CHAR_LOAD) + table.cost_of(Op.PARSE_STEP)
+            assert newer > 4 * fermi
+
+    def test_atomics_improve_with_generation(self):
+        """§II-C: "NVIDIA has improved the performance of atomic access"."""
+        costs = [t.cost_of(Op.ATOMIC_RMW) for t in (FERMI, KEPLER, MAXWELL, PASCAL)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_node_traffic_improves_with_generation(self):
+        for op in (Op.NODE_READ, Op.NODE_WRITE, Op.NODE_ALLOC, Op.POSTBOX_READ):
+            fermi, pascal = FERMI.cost_of(op), PASCAL.cost_of(op)
+            assert fermi > pascal
+
+    def test_fermi_integer_division_is_painful(self):
+        """Fermi has no fast int division — the itoa loop hurts there."""
+        assert FERMI.cost_of(Op.IDIV) > 1.8 * PASCAL.cost_of(Op.IDIV)
+
+    def test_print_cost_approaches_cpu(self):
+        """Fig. 16d: printing gets cheaper from the oldest to the newest
+        architecture (Kepler/Maxwell per-cycle costs are similar; the
+        trend in *time* comes from their clocks)."""
+        assert FERMI.cost_of(Op.PRINT_STEP) > KEPLER.cost_of(Op.PRINT_STEP)
+        assert FERMI.cost_of(Op.PRINT_STEP) > MAXWELL.cost_of(Op.PRINT_STEP)
+        assert MAXWELL.cost_of(Op.PRINT_STEP) > PASCAL.cost_of(Op.PRINT_STEP)
+        assert KEPLER.cost_of(Op.PRINT_STEP) > PASCAL.cost_of(Op.PRINT_STEP)
+
+
+class TestCPUTables:
+    def test_cpu_ops_far_cheaper_than_gpu(self):
+        for op in (Op.NODE_READ, Op.ENV_STEP, Op.CHAR_LOAD, Op.CALL):
+            assert CPU_INTEL_COSTS.cost_of(op) * 10 < PASCAL.cost_of(op)
+
+    def test_intel_core_beats_amd_core(self):
+        """Sandy Bridge vs Bulldozer module: higher per-core throughput."""
+        for op in (Op.NODE_READ, Op.CALL, Op.ENV_STEP):
+            assert CPU_INTEL_COSTS.cost_of(op) <= CPU_AMD_COSTS.cost_of(op)
+
+    def test_cpu_char_work_nearly_free(self):
+        """Fig. 18: parse/print negligible on CPUs."""
+        assert CPU_AMD_COSTS.cost_of(Op.CHAR_LOAD) < 2
+        assert CPU_AMD_COSTS.cost_of(Op.PRINT_STEP) < 2
+
+
+class TestTableShape:
+    def test_all_tables_cover_every_op(self):
+        for table in (*ARCH_COSTS.values(), CPU_INTEL_COSTS, CPU_AMD_COSTS):
+            for op in Op:
+                assert table.cost_of(op) >= 0
+
+    def test_labels(self):
+        assert FERMI.label == "fermi"
+        assert CPU_INTEL_COSTS.label.startswith("cpu-intel")

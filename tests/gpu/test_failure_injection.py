@@ -1,0 +1,103 @@
+"""Failure injection: the device must fail loudly and stay usable.
+
+The paper notes CuLi's limits — the fixed node array bounds input size,
+CUDA stacks bound recursion, endless loops livelock. Each limit is
+driven to failure here, and after every failure the device must accept
+the next command (the REPL survives).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.interpreter import InterpreterOptions
+from repro.errors import (
+    ArenaExhaustedError,
+    EvalError,
+    HostProtocolError,
+    RecursionDepthError,
+)
+from repro.gpu.device import GPUDevice, GPUDeviceConfig
+from repro.gpu.specs import GTX480
+from tests.conftest import make_tiny_gpu_spec
+
+
+class TestArenaExhaustion:
+    @pytest.fixture
+    def cramped(self):
+        device = GPUDevice(
+            make_tiny_gpu_spec(),
+            config=GPUDeviceConfig(interpreter=InterpreterOptions(arena_capacity=600)),
+        )
+        yield device
+        device.close()
+
+    def test_oversized_input_exhausts_nodes(self, cramped):
+        # ~600 atoms of parse tree cannot fit a 600-node arena that
+        # already holds ~100 builtins ("the size of the possible inputs
+        # is currently limited", §III-D).
+        big = "(list " + " ".join(["1"] * 600) + ")"
+        with pytest.raises(ArenaExhaustedError):
+            cramped.submit(big)
+
+    def test_device_usable_after_exhaustion(self, cramped):
+        with pytest.raises(ArenaExhaustedError):
+            cramped.submit("(list " + " ".join(["1"] * 600) + ")")
+        # GC reclaimed the partial parse tree; small commands still work.
+        assert cramped.submit("(+ 1 2)").output == "3"
+
+    def test_many_small_commands_never_exhaust(self, cramped):
+        for i in range(30):
+            assert cramped.submit(f"(* {i} {i})").output == str(i * i)
+
+
+class TestRecursionDepth:
+    def test_device_stack_limit(self):
+        spec = dataclasses.replace(GTX480, max_recursion_depth=64)
+        device = GPUDevice(spec)
+        device.submit("(defun down (n) (if (< n 1) 0 (down (- n 1))))")
+        with pytest.raises(RecursionDepthError):
+            device.submit("(down 100)")
+        assert device.submit("(down 3)").output == "0"
+        device.close()
+
+    def test_worker_recursion_limit(self):
+        spec = dataclasses.replace(
+            make_tiny_gpu_spec(), max_recursion_depth=64
+        )
+        device = GPUDevice(spec)
+        device.submit("(defun down (n) (if (< n 1) 0 (down (- n 1))))")
+        with pytest.raises(RecursionDepthError):
+            device.submit("(||| 2 down (100 100))")
+        device.close()
+
+
+class TestLoopGuard:
+    def test_endless_while_aborts(self, tiny_gpu):
+        tiny_gpu.interp.options.max_loop_iterations = 1000
+        with pytest.raises(EvalError, match="livelock"):
+            tiny_gpu.submit("(while T 1)")
+        assert tiny_gpu.submit("(+ 2 2)").output == "4"
+
+
+class TestHostProtocolFaults:
+    def test_oversized_command_rejected_by_host(self, gpu_device):
+        blob = "(list " + " ".join(["1"] * 40_000) + ")"
+        with pytest.raises(HostProtocolError):
+            gpu_device.submit(blob)
+        assert gpu_device.submit("1").output == "1"
+
+    def test_lisp_error_releases_buffer(self, gpu_device):
+        with pytest.raises(Exception):
+            gpu_device.submit("(car 5)")
+        assert gpu_device.cmdbuf.dev_sync == 0
+        assert gpu_device.submit("(+ 1 2)").output == "3"
+
+    def test_arena_stable_after_lisp_errors(self, gpu_device):
+        gpu_device.submit("(+ 1 1)")
+        settled = gpu_device.interp.arena.used
+        for _ in range(5):
+            with pytest.raises(Exception):
+                gpu_device.submit("(car 5)")
+        gpu_device.submit("(+ 1 1)")
+        assert gpu_device.interp.arena.used == settled

@@ -1,0 +1,107 @@
+"""Simulated global memory, regions, and string buffers."""
+
+import pytest
+
+from repro.context import CountingContext
+from repro.errors import MemoryFaultError
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.memory import GlobalMemory, OutputBuffer, SourceBuffer
+from repro.ops import Op
+
+
+class TestRegions:
+    def test_allocation_is_disjoint_and_aligned(self):
+        mem = GlobalMemory(1 << 20)
+        a = mem.allocate_region("a", 100)
+        b = mem.allocate_region("b", 200)
+        assert a.end <= b.base
+        assert b.base % 128 == 0
+
+    def test_duplicate_name_rejected(self):
+        mem = GlobalMemory(1 << 20)
+        mem.allocate_region("x", 10)
+        with pytest.raises(ValueError):
+            mem.allocate_region("x", 10)
+
+    def test_out_of_memory(self):
+        mem = GlobalMemory(1024)
+        with pytest.raises(MemoryFaultError):
+            mem.allocate_region("big", 4096)
+
+    def test_contains(self):
+        mem = GlobalMemory(1 << 20)
+        region = mem.allocate_region("r", 256)
+        assert region.contains(region.base)
+        assert region.contains(region.base + 255)
+        assert not region.contains(region.base + 256)
+
+    def test_region_lookup(self):
+        mem = GlobalMemory(1 << 20)
+        region = mem.allocate_region("r", 64)
+        assert mem.region("r") is region
+
+
+class TestSourceBuffer:
+    def test_charges_per_char(self):
+        ctx = CountingContext()
+        src = SourceBuffer("abc").bind(ctx)
+        for i in range(3):
+            src.char_at(i)
+        assert ctx.counts.count_of(Op.CHAR_LOAD) == 3
+        assert ctx.counts.count_of(Op.PARSE_STEP) == 3
+
+    def test_terminator_past_end(self):
+        ctx = CountingContext()
+        src = SourceBuffer("ab").bind(ctx)
+        assert src.char_at(2) == "\0"
+        assert src.char_at(99) == "\0"
+
+    def test_negative_read_faults(self):
+        src = SourceBuffer("ab").bind(CountingContext())
+        with pytest.raises(MemoryFaultError):
+            src.char_at(-1)
+
+    def test_touches_cache(self):
+        cache = SetAssociativeCache(64)
+        ctx = CountingContext(cache=cache, miss_penalty=100.0)
+        src = SourceBuffer("x" * 300, base=0).bind(ctx)
+        for i in range(300):
+            src.char_at(i)
+        assert cache.stats.misses == 3  # 300 bytes / 128 B lines
+        assert ctx.extra_cycles[ctx.phase] == 300.0
+
+    def test_slice_uncharged(self):
+        ctx = CountingContext()
+        src = SourceBuffer("hello").bind(ctx)
+        assert src.slice(1, 4) == "ell"
+        assert ctx.counts.total_count() == 0
+
+
+class TestOutputBuffer:
+    def test_append_and_value(self):
+        ctx = CountingContext()
+        out = OutputBuffer().bind(ctx)
+        out.append("(1 ")
+        out.append("2)")
+        assert out.getvalue() == "(1 2)"
+        assert len(out) == 5
+        assert ctx.counts.count_of(Op.CHAR_STORE) == 5
+        assert ctx.counts.count_of(Op.PRINT_STEP) == 5
+
+    def test_empty_append_free(self):
+        ctx = CountingContext()
+        out = OutputBuffer().bind(ctx)
+        out.append("")
+        assert ctx.counts.total_count() == 0
+
+    def test_overflow_faults(self):
+        out = OutputBuffer(capacity=4).bind(CountingContext())
+        out.append("abcd")
+        with pytest.raises(MemoryFaultError, match="overflow"):
+            out.append("e")
+
+    def test_clear(self):
+        out = OutputBuffer().bind(CountingContext())
+        out.append("xyz")
+        out.clear()
+        assert out.getvalue() == "" and len(out) == 0

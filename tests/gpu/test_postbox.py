@@ -1,0 +1,74 @@
+"""Per-thread postboxes (paper Fig. 10/11)."""
+
+import pytest
+
+from repro.context import CountingContext
+from repro.gpu.postbox import Postbox, PostboxArray
+from repro.ops import Op
+
+
+class TestPostbox:
+    def test_initial_flags(self):
+        box = Postbox(3)
+        assert box.active.value == 1
+        assert box.work.value == 0
+        assert box.sync.value == 0
+        assert box.io is None
+
+    def test_assign_raises_flags(self):
+        ctx = CountingContext()
+        box = Postbox(0)
+        box.assign("job", ctx)
+        assert box.work.value == 1
+        assert box.sync.value == 1
+        assert box.io == "job"
+
+    def test_complete_clears_flags(self):
+        ctx = CountingContext()
+        box = Postbox(0)
+        box.assign("job", ctx)
+        box.complete("result", ctx)
+        assert box.work.value == 0
+        assert box.sync.value == 0
+        assert box.io == "result"
+
+    def test_collect_reads_and_clears_io(self):
+        ctx = CountingContext()
+        box = Postbox(0)
+        box.assign("job", ctx)
+        box.complete("result", ctx)
+        assert box.collect(ctx) == "result"
+        assert box.io is None
+        assert ctx.counts.count_of(Op.POSTBOX_READ) == 1
+
+    def test_full_handshake_uses_atomics(self):
+        ctx = CountingContext()
+        box = Postbox(0)
+        box.assign("j", ctx)
+        box.complete("r", ctx)
+        # assign: work+sync stores; complete: work+sync stores
+        assert ctx.counts.count_of(Op.ATOMIC_RMW) == 4
+
+
+class TestPostboxArray:
+    def test_indexing(self):
+        boxes = PostboxArray(8)
+        assert len(boxes) == 8
+        assert boxes[5].thread_id == 5
+
+    def test_deactivate_all(self):
+        ctx = CountingContext()
+        boxes = PostboxArray(4)
+        boxes.deactivate_all(ctx)
+        assert all(boxes[i].active.value == 0 for i in range(4))
+
+    def test_rmw_accounting(self):
+        ctx = CountingContext()
+        boxes = PostboxArray(3)
+        boxes[0].assign("x", ctx)
+        boxes.deactivate_all(ctx)
+        assert boxes.total_rmw_count() == 2 + 3
+
+    def test_requires_threads(self):
+        with pytest.raises(ValueError):
+            PostboxArray(0)

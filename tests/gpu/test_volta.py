@@ -1,0 +1,99 @@
+"""The Volta future-work projection (paper Conclusion).
+
+"New versions of NVidia GPUs provide a new threading model that is
+closer to the model provided on CPUs. ... Another profitable feature is
+the configurable cache of these devices which can help to reduce the
+parsing penalties."
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.costs import ARCH_COSTS, Arch
+from repro.gpu.device import GPUDevice, GPUDeviceConfig
+from repro.gpu.specs import GTX1080, TESLA_V100
+from repro.ops import Op
+from repro.runtime.devices import resolve_spec
+from repro.runtime.session import CuLiSession
+
+FIB = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+
+
+def small_v100(**overrides):
+    """V100 arch with a small grid (fast postbox setup in tests)."""
+    params = dict(name="tiny-v100", sm_count=2, max_blocks_per_sm=2)
+    params.update(overrides)
+    return dataclasses.replace(TESLA_V100, **params)
+
+
+class TestRegistry:
+    def test_v100_resolvable_but_not_in_paper_set(self):
+        assert resolve_spec("v100").name == "tesla-v100"
+        assert resolve_spec("tesla-v100").arch is Arch.VOLTA
+        from repro.gpu.specs import ALL_GPUS
+
+        assert all(s.name != "tesla-v100" for s in ALL_GPUS)
+
+
+class TestIndependentThreadScheduling:
+    def test_no_livelock_without_sync_flag(self):
+        device = GPUDevice(
+            small_v100(), config=GPUDeviceConfig(enable_block_sync_flag=False)
+        )
+        device.submit(FIB)
+        stats = device.submit("(||| 10 fib (5 5 5 5 5 5 5 5 5 5))")
+        assert stats.output == "(5 5 5 5 5 5 5 5 5 5)"
+        device.close()
+
+    def test_master_block_workers_usable(self):
+        device = GPUDevice(
+            small_v100(),
+            config=GPUDeviceConfig(disable_master_block_workers=False),
+        )
+        device.submit(FIB)
+        stats = device.submit("(||| 4 fib (5 5 5 5))")
+        assert stats.output == "(5 5 5 5)"
+        # One extra warp of workers became available (31 lanes of block 0).
+        assert device.grid.worker_count == device.grid.total_threads - 1
+        device.close()
+
+    def test_pre_volta_still_livelocks(self, tiny_gpu_spec):
+        from repro.errors import LivelockError
+
+        device = GPUDevice(
+            tiny_gpu_spec, config=GPUDeviceConfig(enable_block_sync_flag=False)
+        )
+        device.submit(FIB)
+        with pytest.raises(LivelockError):
+            device.submit("(||| 10 fib (5 5 5 5 5 5 5 5 5 5))")
+        device.close()
+
+
+class TestTrendProjection:
+    def test_parse_penalty_reduced_vs_pascal(self):
+        volta = ARCH_COSTS[Arch.VOLTA]
+        pascal = ARCH_COSTS[Arch.PASCAL]
+        volta_char = volta.cost_of(Op.CHAR_LOAD) + volta.cost_of(Op.PARSE_STEP)
+        pascal_char = pascal.cost_of(Op.CHAR_LOAD) + pascal.cost_of(Op.PARSE_STEP)
+        assert volta_char < pascal_char / 3  # configurable cache pays off
+
+    def test_base_latency_keeps_growing(self):
+        assert TESLA_V100.base_latency_ms > GTX1080.base_latency_ms
+
+    def test_gap_to_cpu_narrows(self):
+        """The paper: "If the trend continues, the performance gap
+        between CPU and GPU will become smaller with every new GPU
+        generation." The projected V100 beats the paper's 10x rule."""
+        n = 512
+        command = f"(||| {n} fib ({' '.join(['5'] * n)}))"
+        totals = {}
+        for device in ("gtx1080", "tesla-v100", "intel-e5-2620"):
+            with CuLiSession(device) as sess:
+                sess.eval(FIB)
+                totals[device] = sess.submit(command).times.total_ms
+        assert totals["tesla-v100"] < totals["gtx1080"]
+        cpu_advantage_pascal = totals["gtx1080"] / totals["intel-e5-2620"]
+        cpu_advantage_volta = totals["tesla-v100"] / totals["intel-e5-2620"]
+        assert cpu_advantage_volta < cpu_advantage_pascal
+        assert cpu_advantage_volta < 10.0  # the Fig. 15 rule falls

@@ -1,0 +1,66 @@
+"""Property: CuLi integer arithmetic agrees with Python's (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import NullContext
+from repro.core.interpreter import Interpreter
+
+small_ints = st.integers(min_value=-(10**6), max_value=10**6)
+
+
+def run(src: str) -> str:
+    return Interpreter().process(src, NullContext())
+
+
+@given(st.lists(small_ints, min_size=1, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_sum_matches_python(values):
+    expr = "(+ " + " ".join(str(v) for v in values) + ")"
+    assert run(expr) == str(sum(values))
+
+
+@given(st.lists(small_ints, min_size=1, max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_sub_left_fold(values):
+    expr = "(- " + " ".join(str(v) for v in values) + ")"
+    if len(values) == 1:
+        expected = -values[0]
+    else:
+        expected = values[0]
+        for v in values[1:]:
+            expected -= v
+    assert run(expr) == str(expected)
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_product_matches_python(values):
+    expr = "(* " + " ".join(str(v) for v in values) + ")"
+    expected = 1
+    for v in values:
+        expected *= v
+    assert run(expr) == str(expected)
+
+
+@given(small_ints, small_ints)
+@settings(max_examples=150, deadline=None)
+def test_comparison_chain(a, b):
+    assert run(f"(< {a} {b})") == ("T" if a < b else "nil")
+    assert run(f"(= {a} {b})") == ("T" if a == b else "nil")
+    assert run(f"(>= {a} {b})") == ("T" if a >= b else "nil")
+
+
+@given(small_ints, st.integers(min_value=1, max_value=1000))
+@settings(max_examples=150, deadline=None)
+def test_mod_sign_follows_divisor(a, b):
+    assert run(f"(mod {a} {b})") == str(a % b)
+    assert run(f"(mod {a} -{b})") == str(a % -b)
+
+
+@given(st.lists(small_ints, min_size=2, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_min_max_match_python(values):
+    args = " ".join(str(v) for v in values)
+    assert run(f"(min {args})") == str(min(values))
+    assert run(f"(max {args})") == str(max(values))

@@ -1,0 +1,63 @@
+"""Property: all three ||| engines compute identical results for random
+workloads (hypothesis) — the paper's one-codebase/two-builds contract,
+plus our sequential reference."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import NullContext
+from repro.core.interpreter import Interpreter
+from repro.cpu.device import CPUDevice
+from repro.cpu.specs import INTEL_E5_2620
+from repro.gpu.device import GPUDevice
+from tests.conftest import make_tiny_gpu_spec
+
+elements = st.integers(min_value=-99, max_value=99)
+rows = st.lists(elements, min_size=1, max_size=40)
+
+OPS = st.sampled_from(["+", "-", "*", "max", "min"])
+
+
+@st.composite
+def parallel_commands(draw):
+    xs = draw(rows)
+    ys = draw(st.lists(elements, min_size=len(xs), max_size=len(xs)))
+    op = draw(OPS)
+    n = len(xs)
+    return (
+        f"(||| {n} {op} ({' '.join(map(str, xs))}) ({' '.join(map(str, ys))}))"
+    )
+
+
+@pytest.fixture(scope="module")
+def devices():
+    gpu = GPUDevice(make_tiny_gpu_spec())
+    cpu = CPUDevice(INTEL_E5_2620)
+    yield gpu, cpu
+    gpu.close()
+    cpu.close()
+
+
+@given(parallel_commands())
+@settings(max_examples=60, deadline=None)
+def test_engines_agree(devices, command):
+    gpu, cpu = devices
+    sequential = Interpreter().process(command, NullContext())
+    assert gpu.submit(command).output == sequential
+    assert cpu.submit(command).output == sequential
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_fib_rows_preserve_order(devices, args):
+    gpu, cpu = devices
+    fib = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+    n = len(args)
+    command = f"(||| {n} fib ({' '.join(map(str, args))}))"
+    expected = "(" + " ".join(str(fib[a]) for a in args) + ")"
+    preamble = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+    gpu.submit(preamble)
+    cpu.submit(preamble)
+    assert gpu.submit(command).output == expected
+    assert cpu.submit(command).output == expected

@@ -1,0 +1,80 @@
+"""Property: CuLi list operations model Python list semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import NullContext
+from repro.core.interpreter import Interpreter
+
+elements = st.integers(min_value=-999, max_value=999)
+int_lists = st.lists(elements, max_size=10)
+
+
+def lisp_list(values) -> str:
+    return "(list " + " ".join(str(v) for v in values) + ")"
+
+
+def render(values) -> str:
+    return "(" + " ".join(str(v) for v in values) + ")" if values else "nil"
+
+
+def run_forms(*forms: str) -> str:
+    interp = Interpreter()
+    ctx = NullContext()
+    out = ""
+    for form in forms:
+        out = interp.process(form, ctx)
+    return out
+
+
+@given(int_lists)
+@settings(max_examples=100, deadline=None)
+def test_length(values):
+    assert run_forms(f"(length {lisp_list(values)})") == str(len(values))
+
+
+@given(int_lists)
+@settings(max_examples=100, deadline=None)
+def test_reverse(values):
+    out = run_forms(f"(reverse {lisp_list(values)})")
+    expected = (
+        "(" + " ".join(str(v) for v in reversed(values)) + ")" if values else "()"
+    )
+    assert out == expected
+
+
+@given(int_lists, int_lists)
+@settings(max_examples=100, deadline=None)
+def test_append(a, b):
+    out = run_forms(f"(append {lisp_list(a)} {lisp_list(b)})")
+    combined = a + b
+    expected = "(" + " ".join(str(v) for v in combined) + ")" if combined else "nil"
+    assert out == expected
+
+
+@given(elements, int_lists)
+@settings(max_examples=100, deadline=None)
+def test_cons_car_cdr(head, tail):
+    consed = f"(cons {head} {lisp_list(tail)})"
+    assert run_forms(f"(car {consed})") == str(head)
+    cdr_out = run_forms(f"(cdr {consed})")
+    assert cdr_out == render(tail) if tail else cdr_out == "nil"
+
+
+@given(st.integers(min_value=0, max_value=12), int_lists)
+@settings(max_examples=100, deadline=None)
+def test_nth_matches_indexing(i, values):
+    out = run_forms(f"(nth {i} {lisp_list(values)})")
+    expected = str(values[i]) if i < len(values) else "nil"
+    assert out == expected
+
+
+@given(elements, int_lists)
+@settings(max_examples=100, deadline=None)
+def test_member_suffix(key, values):
+    out = run_forms(f"(member {key} {lisp_list(values)})")
+    if key in values:
+        idx = values.index(key)
+        assert out == "(" + " ".join(str(v) for v in values[idx:]) + ")"
+    else:
+        assert out == "nil"

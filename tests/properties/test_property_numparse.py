@@ -1,0 +1,56 @@
+"""Property: the device number parser agrees with Python's (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import NullContext
+from repro.strlib import format_float, format_int, parse_number
+
+CTX = NullContext()
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+@settings(max_examples=300, deadline=None)
+def test_integer_roundtrip(value):
+    assert parse_number(str(value), CTX) == value
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+@settings(max_examples=300, deadline=None)
+def test_float_format_parse_roundtrip(value):
+    text = format_float(float(value), CTX)
+    parsed = parse_number(text, CTX)
+    assert isinstance(parsed, float)
+    # The decimal-fraction accumulator is within float rounding of repr.
+    if value == 0:
+        assert parsed == 0
+    else:
+        assert abs(parsed - value) <= abs(value) * 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+@settings(max_examples=200, deadline=None)
+def test_format_int_matches_str(value):
+    assert format_int(value, CTX) == str(value)
+
+
+@given(st.text(st.characters(codec="ascii"), max_size=10))
+@settings(max_examples=300, deadline=None)
+def test_parser_never_crashes_and_agrees_on_validity(text):
+    """parse_number returns None exactly when Python cannot parse the
+    token as a simple number either (no inf/nan/underscores/hex)."""
+    result = parse_number(text, CTX)
+    if result is not None:
+        assert float(text) == float(result) or abs(float(text) - result) < 1e-6 * max(
+            1.0, abs(result)
+        )
+
+
+@given(st.decimals(allow_nan=False, allow_infinity=False, places=6,
+                   min_value=-10**9, max_value=10**9))
+@settings(max_examples=300, deadline=None)
+def test_decimal_strings(value):
+    text = str(value)
+    parsed = parse_number(text, CTX)
+    assert parsed is not None
+    assert abs(float(parsed) - float(value)) <= max(1.0, abs(float(value))) * 1e-12

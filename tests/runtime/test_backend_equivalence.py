@@ -1,0 +1,81 @@
+"""The same CuLi program must produce identical output on every backend
+(GPU simulator, CPU model, bare sequential interpreter) — only the
+timing differs. This is the paper's own property: one code base, two
+builds."""
+
+import pytest
+
+from repro.context import NullContext
+from repro.core.interpreter import Interpreter
+from repro.runtime.session import CuLiSession
+
+PROGRAMS = [
+    # (program forms, expected final output)
+    (["(+ 1 2 3)"], "6"),
+    (["(* 2 (+ 4 3) 6)"], "84"),
+    (
+        [
+            "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+            "(||| 6 fib (1 2 3 4 5 6))",
+        ],
+        "(1 1 2 3 5 8)",
+    ),
+    (["(||| 3 + (1 2 3) (4 5 6))"], "(5 7 9)"),
+    (
+        [
+            "(defun compose2 (x) (car (cdr (list x (* x x)))))",
+            "(||| 4 compose2 (2 3 4 5))",
+        ],
+        "(4 9 16 25)",
+    ),
+    (["(setq s 0)", "(dotimes (i 10) (setq s (+ s i)))", "s"], "45"),
+    (
+        [
+            "(defmacro unless2 (c a b) (list 'if c b a))",
+            "(unless2 nil 'yes 'no)",
+        ],
+        "yes",
+    ),
+    (["(reverse (append (list 1 2) (list 3)))"], "(3 2 1)"),
+    (['(string-append "a" "b" "c")'], '"abc"'),
+    (["(let* ((a 2) (b (* a a))) (list a b))"], "(2 4)"),
+]
+
+
+def run_sequential(forms):
+    interp = Interpreter()
+    ctx = NullContext()
+    out = ""
+    for form in forms:
+        out = interp.process(form, ctx)
+    return out
+
+
+def run_session(device, forms):
+    with CuLiSession(device) as sess:
+        out = ""
+        for form in forms:
+            out = sess.eval(form)
+        return out
+
+
+@pytest.mark.parametrize("forms,expected", PROGRAMS, ids=[p[1] for p in PROGRAMS])
+class TestEquivalence:
+    def test_sequential(self, forms, expected):
+        assert run_sequential(forms) == expected
+
+    def test_gpu(self, forms, expected):
+        assert run_session("gtx480", forms) == expected
+
+    def test_cpu(self, forms, expected):
+        assert run_session("intel", forms) == expected
+
+
+def test_all_gpu_architectures_agree():
+    forms = [
+        "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        "(||| 5 fib (5 5 5 5 5))",
+    ]
+    outputs = {run_session(dev, forms) for dev in
+               ("tesla-c2075", "tesla-k20", "tesla-m40", "gtx480", "gtx680", "gtx1080")}
+    assert outputs == {"(5 5 5 5 5)"}

@@ -1,0 +1,75 @@
+"""The device registry and name resolution."""
+
+import pytest
+
+from repro.cpu.device import CPUDevice
+from repro.errors import UnknownDeviceError
+from repro.gpu.device import GPUDevice
+from repro.runtime.devices import (
+    DEVICE_NAMES,
+    available_devices,
+    device_for,
+    resolve_spec,
+)
+
+
+class TestResolution:
+    def test_canonical_names(self):
+        for name in DEVICE_NAMES:
+            assert resolve_spec(name).name == name
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("GTX 1080", "gtx1080"),
+            ("gtx_480", "gtx480"),
+            ("m40", "tesla-m40"),
+            ("K20", "tesla-k20"),
+            ("c2075", "tesla-c2075"),
+            ("Tesla C2075", "tesla-c2075"),
+            ("intel", "intel-e5-2620"),
+            ("xeon", "intel-e5-2620"),
+            ("amd", "amd-6272"),
+            ("opteron", "amd-6272"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert resolve_spec(alias).name == canonical
+
+    def test_unknown_device(self):
+        with pytest.raises(UnknownDeviceError, match="available"):
+            resolve_spec("voodoo2")
+
+
+class TestFactory:
+    def test_gpu_name_builds_gpu_device(self):
+        device = device_for("gtx480")
+        try:
+            assert isinstance(device, GPUDevice)
+        finally:
+            device.close()
+
+    def test_cpu_name_builds_cpu_device(self):
+        device = device_for("intel")
+        try:
+            assert isinstance(device, CPUDevice)
+        finally:
+            device.close()
+
+    def test_spec_object_accepted(self):
+        from repro.gpu.specs import GTX480
+
+        device = device_for(GTX480)
+        try:
+            assert device.name == "gtx480"
+        finally:
+            device.close()
+
+
+class TestInventory:
+    def test_eight_devices(self):
+        specs = available_devices()
+        assert len(specs) == 8
+        assert [s.name for s in specs[:6]] == [
+            "tesla-c2075", "tesla-k20", "tesla-m40", "gtx480", "gtx680", "gtx1080",
+        ]

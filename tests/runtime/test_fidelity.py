@@ -1,0 +1,76 @@
+"""Task signatures and grouping for warp-representative simulation."""
+
+from repro.context import NullContext
+from repro.core.interpreter import Interpreter
+from repro.core.reader import Parser
+from repro.runtime.fidelity import Fidelity, group_rows, task_signature
+
+
+def nodes_of(interp, source):
+    return Parser(interp, NullContext()).parse(source)
+
+
+class TestSignatures:
+    def test_equal_values_equal_signatures(self, interp):
+        a, b = nodes_of(interp, "5 5")
+        fn = interp.global_env.lookup("+", NullContext())
+        assert task_signature(fn, [a]) == task_signature(fn, [b])
+
+    def test_different_values_differ(self, interp):
+        a, b = nodes_of(interp, "5 6")
+        fn = interp.global_env.lookup("+", NullContext())
+        assert task_signature(fn, [a]) != task_signature(fn, [b])
+
+    def test_type_matters(self, interp):
+        a, b = nodes_of(interp, "5 5.0")
+        fn = interp.global_env.lookup("+", NullContext())
+        assert task_signature(fn, [a]) != task_signature(fn, [b])
+
+    def test_structural_lists(self, interp):
+        a, b, c = nodes_of(interp, "(1 (2)) (1 (2)) (1 (3))")
+        fn = interp.global_env.lookup("car", NullContext())
+        assert task_signature(fn, [a]) == task_signature(fn, [b])
+        assert task_signature(fn, [a]) != task_signature(fn, [c])
+
+    def test_function_identity_matters(self, interp):
+        ctx = NullContext()
+        (arg,) = nodes_of(interp, "5")
+        plus = interp.global_env.lookup("+", ctx)
+        minus = interp.global_env.lookup("-", ctx)
+        assert task_signature(plus, [arg]) != task_signature(minus, [arg])
+
+    def test_symbols_and_strings_distinct(self, interp):
+        a, b = nodes_of(interp, 'abc "abc"')
+        fn = interp.global_env.lookup("list", NullContext())
+        assert task_signature(fn, [a]) != task_signature(fn, [b])
+
+
+class TestGrouping:
+    def test_uniform_rows_one_group(self, interp):
+        rows = [nodes_of(interp, "5") for _ in range(10)]
+        fn = interp.global_env.lookup("+", NullContext())
+        groups = group_rows(fn, rows)
+        assert len(groups) == 1
+        (indices,) = groups.values()
+        assert indices == list(range(10))
+
+    def test_mixed_rows_grouped_by_value(self, interp):
+        values = [5, 7, 5, 7, 5]
+        rows = [nodes_of(interp, str(v)) for v in values]
+        fn = interp.global_env.lookup("+", NullContext())
+        groups = group_rows(fn, rows)
+        assert len(groups) == 2
+        sizes = sorted(len(ix) for ix in groups.values())
+        assert sizes == [2, 3]
+
+    def test_insertion_order_preserved(self, interp):
+        rows = [nodes_of(interp, str(v)) for v in (9, 3, 9)]
+        fn = interp.global_env.lookup("+", NullContext())
+        groups = list(group_rows(fn, rows).values())
+        assert groups[0] == [0, 2]
+        assert groups[1] == [1]
+
+
+def test_fidelity_enum_values():
+    assert Fidelity("full") is Fidelity.FULL
+    assert Fidelity("warp") is Fidelity.WARP

@@ -1,0 +1,103 @@
+"""CuLiSession: the host-side REPL protocol."""
+
+import pytest
+
+from repro.errors import UnbalancedInputError
+from repro.runtime.session import CuLiSession, split_top_level_forms
+
+
+@pytest.fixture
+def session():
+    sess = CuLiSession("gtx480")
+    yield sess
+    sess.close()
+
+
+class TestEval:
+    def test_eval_returns_output(self, session):
+        assert session.eval("(+ 1 2)") == "3"
+
+    def test_eval_timed(self, session):
+        out, times = session.eval_timed("(* 6 7)")
+        assert out == "42"
+        assert times.total_ms > 0
+
+    def test_history(self, session):
+        session.eval("1")
+        session.eval("2")
+        assert len(session.history) == 2
+        assert session.history[0].output == "1"
+
+    def test_environment_persists(self, session):
+        session.eval("(defun sq (x) (* x x))")
+        assert session.eval("(sq 12)") == "144"
+
+    def test_context_manager_closes(self):
+        with CuLiSession("gtx480") as sess:
+            sess.eval("1")
+        assert sess.closed
+
+
+class TestFeedLine:
+    def test_complete_line_executes(self, session):
+        stats = session.feed_line("(+ 1 2)")
+        assert stats is not None and stats.output == "3"
+
+    def test_incomplete_accumulates(self, session):
+        assert session.feed_line("(let ((a 2)") is None
+        assert session.pending_input != ""
+        stats = session.feed_line("      (b 3)) (+ a b))")
+        assert stats is not None and stats.output == "5"
+        assert session.pending_input == ""
+
+    def test_blank_line_without_pending_ignored(self, session):
+        assert session.feed_line("   ") is None
+        assert session.pending_input == ""
+
+    def test_atom_line(self, session):
+        stats = session.feed_line("42")
+        assert stats is not None and stats.output == "42"
+
+
+class TestRunProgram:
+    def test_multiple_forms(self, session):
+        stats = session.run_program(
+            "(defun inc (x) (+ x 1))\n(inc 1)\n(inc (inc 1))"
+        )
+        assert [s.output for s in stats] == ["inc", "2", "3"]
+
+    def test_comments_stripped(self, session):
+        stats = session.run_program(
+            "; define it\n(setq x 2) ; the value\n(* x x) ; square"
+        )
+        assert stats[-1].output == "4"
+
+    def test_unbalanced_program_raises_on_upload(self, session):
+        with pytest.raises(UnbalancedInputError):
+            session.run_program("(defun broken (x)")
+
+
+class TestSplitTopLevelForms:
+    def test_split_basic(self):
+        forms = split_top_level_forms("(a 1) (b (c 2))")
+        assert forms == ["(a 1)", "(b (c 2))"]
+
+    def test_parens_inside_strings_ignored(self):
+        forms = split_top_level_forms('(princ "(not a list)") (+ 1 2)')
+        assert len(forms) == 2
+
+    def test_comments_removed(self):
+        forms = split_top_level_forms("(a) ; trailing (junk\n(b)")
+        assert forms == ["(a)", "(b)"]
+
+    def test_trailing_atom(self):
+        assert split_top_level_forms("(a) 42")[-1] == "42"
+
+
+class TestDeviceKinds:
+    @pytest.mark.parametrize("device", ["gtx480", "intel"])
+    def test_same_protocol_both_kinds(self, device):
+        with CuLiSession(device) as sess:
+            sess.eval("(setq v 21)")
+            assert sess.eval("(* v 2)") == "42"
+            assert sess.base_latency_ms > 0

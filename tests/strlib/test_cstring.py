@@ -1,0 +1,68 @@
+"""C-style string routines with charging."""
+
+import pytest
+
+from repro.context import CountingContext, NullContext
+from repro.ops import Op
+from repro.strlib import str_cmp, str_copy_into, str_equal, str_len, str_ncmp
+
+
+@pytest.fixture
+def ctx():
+    return NullContext()
+
+
+class TestStrCmp:
+    @pytest.mark.parametrize(
+        "a,b,sign",
+        [
+            ("abc", "abc", 0),
+            ("abc", "abd", -1),
+            ("abd", "abc", 1),
+            ("ab", "abc", -1),
+            ("abc", "ab", 1),
+            ("", "", 0),
+            ("", "a", -1),
+        ],
+    )
+    def test_sign(self, ctx, a, b, sign):
+        result = str_cmp(a, b, ctx)
+        assert (result > 0) - (result < 0) == sign
+
+    def test_charges_up_to_first_difference(self):
+        cctx = CountingContext()
+        str_cmp("aaax", "aaay", cctx)
+        # 3 equal pairs + the differing position
+        assert cctx.counts.count_of(Op.SYM_CHAR_CMP) == 4
+
+    def test_mismatch_at_first_char_is_cheap(self):
+        cctx = CountingContext()
+        str_cmp("x" + "a" * 100, "y" + "a" * 100, cctx)
+        assert cctx.counts.count_of(Op.SYM_CHAR_CMP) == 1
+
+    def test_equal_strings_charge_full_length(self):
+        cctx = CountingContext()
+        str_cmp("hello", "hello", cctx)
+        assert cctx.counts.count_of(Op.SYM_CHAR_CMP) == 6  # 5 + terminator
+
+
+class TestOthers:
+    def test_str_len_counts_terminator(self):
+        cctx = CountingContext()
+        assert str_len("abcd", cctx) == 4
+        assert cctx.counts.count_of(Op.CHAR_LOAD) == 5
+
+    def test_str_ncmp(self, ctx):
+        assert str_ncmp("abcdef", "abcxyz", 3, ctx) == 0
+        assert str_ncmp("abcdef", "abcxyz", 4, ctx) < 0
+
+    def test_str_equal(self, ctx):
+        assert str_equal("same", "same", ctx)
+        assert not str_equal("same", "sane", ctx)
+
+    def test_str_copy_into(self):
+        cctx = CountingContext()
+        dst: list[str] = []
+        str_copy_into(dst, "hi", cctx)
+        assert dst == ["h", "i"]
+        assert cctx.counts.count_of(Op.CHAR_STORE) == 3  # 2 + terminator

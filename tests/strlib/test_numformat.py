@@ -1,0 +1,46 @@
+"""Number formatting (device itoa/ftoa)."""
+
+import pytest
+
+from repro.context import CountingContext, NullContext
+from repro.ops import Op
+from repro.strlib import format_float, format_int, parse_number
+
+
+@pytest.fixture
+def ctx():
+    return NullContext()
+
+
+class TestFormatInt:
+    @pytest.mark.parametrize("value", [0, 7, 42, -1, 123456, -98765])
+    def test_matches_repr(self, ctx, value):
+        assert format_int(value, ctx) == str(value)
+
+    def test_idiv_per_digit(self):
+        cctx = CountingContext()
+        format_int(12345, cctx)
+        assert cctx.counts.count_of(Op.IDIV) == 5
+
+    def test_negative_charges_extra_negate(self):
+        pos, neg = CountingContext(), CountingContext()
+        format_int(123, pos)
+        format_int(-123, neg)
+        assert neg.counts.count_of(Op.ALU) == pos.counts.count_of(Op.ALU) + 1
+
+
+class TestFormatFloat:
+    @pytest.mark.parametrize("value", [2.5, -0.25, 1e30, 2.0, 1234.5678])
+    def test_reparses_as_float(self, ctx, value):
+        text = format_float(value, ctx)
+        back = parse_number(text, ctx)
+        assert isinstance(back, float)
+        assert back == pytest.approx(value)
+
+    def test_whole_float_keeps_marker(self, ctx):
+        assert format_float(2.0, ctx) == "2.0"
+
+    def test_special_values(self, ctx):
+        assert format_float(float("nan"), ctx) == "nan"
+        assert format_float(float("inf"), ctx) == "inf"
+        assert format_float(float("-inf"), ctx) == "-inf"

@@ -1,0 +1,89 @@
+"""Atom classification and number parsing (the paper's §III-B-b rules)."""
+
+import pytest
+
+from repro.context import NullContext
+from repro.strlib import AtomClass, classify_atom, looks_numeric, parse_number
+
+
+@pytest.fixture
+def ctx():
+    return NullContext()
+
+
+class TestLooksNumeric:
+    @pytest.mark.parametrize("tok", ["1", "42", "+1", "-3", ".5", "E2", "9abc"])
+    def test_numeric_start(self, tok):
+        assert looks_numeric(tok)
+
+    @pytest.mark.parametrize("tok", ["abc", "*", "", "x1"])
+    def test_non_numeric_start(self, tok):
+        assert not looks_numeric(tok)
+
+
+class TestParseNumber:
+    @pytest.mark.parametrize(
+        "tok,value",
+        [
+            ("0", 0),
+            ("42", 42),
+            ("-17", -17),
+            ("+5", 5),
+            ("007", 7),
+        ],
+    )
+    def test_integers(self, ctx, tok, value):
+        result = parse_number(tok, ctx)
+        assert result == value and isinstance(result, int)
+
+    @pytest.mark.parametrize(
+        "tok,value",
+        [
+            ("2.5", 2.5),
+            ("-0.25", -0.25),
+            (".5", 0.5),
+            ("3.", 3.0),
+            ("2E3", 2000.0),
+            ("2e-2", 0.02),
+            ("1.5e2", 150.0),
+            ("-1.5E+1", -15.0),
+        ],
+    )
+    def test_floats(self, ctx, tok, value):
+        result = parse_number(tok, ctx)
+        assert result == pytest.approx(value) and isinstance(result, float)
+
+    @pytest.mark.parametrize(
+        "tok", ["+", "-", ".", "E", "e5", "1.2.3", "12abc", "--3", "1e", ""]
+    )
+    def test_non_numbers(self, ctx, tok):
+        assert parse_number(tok, ctx) is None
+
+
+class TestClassifyAtom:
+    @pytest.mark.parametrize(
+        "tok,cls",
+        [
+            ('"txt"', AtomClass.STRING),
+            ("nil", AtomClass.NIL),
+            ("T", AtomClass.TRUE),
+            ("t", AtomClass.TRUE),
+            ("12", AtomClass.INT),
+            ("1.5", AtomClass.FLOAT),
+            ("2E1", AtomClass.FLOAT),
+            ("+", AtomClass.SYMBOL),
+            ("foo", AtomClass.SYMBOL),
+            ("|||", AtomClass.SYMBOL),
+        ],
+    )
+    def test_classes(self, ctx, tok, cls):
+        got, _value = classify_atom(tok, ctx)
+        assert got is cls
+
+    def test_string_value_strips_quotes(self, ctx):
+        _cls, value = classify_atom('"hello"', ctx)
+        assert value == "hello"
+
+    def test_nil_like_symbol(self, ctx):
+        got, _ = classify_atom("nill", ctx)
+        assert got is AtomClass.SYMBOL

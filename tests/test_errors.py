@@ -1,0 +1,49 @@
+"""The exception hierarchy contract (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_is_culi_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.CuLiError) or obj is errors.CuLiError
+
+
+def test_lisp_error_family():
+    for cls in (
+        errors.ParseError,
+        errors.EvalError,
+        errors.ArityError,
+        errors.TypeMismatchError,
+        errors.RecursionDepthError,
+        errors.ImmutabilityError,
+    ):
+        assert issubclass(cls, errors.LispError)
+
+
+def test_device_error_family():
+    for cls in (
+        errors.ArenaExhaustedError,
+        errors.LivelockError,
+        errors.DeviceShutdownError,
+        errors.MemoryFaultError,
+    ):
+        assert issubclass(cls, errors.DeviceError)
+
+
+def test_arity_is_eval_error():
+    assert issubclass(errors.ArityError, errors.EvalError)
+
+
+def test_unbalanced_is_protocol_error():
+    assert issubclass(errors.UnbalancedInputError, errors.HostProtocolError)
+
+
+def test_parse_error_carries_position():
+    err = errors.ParseError("bad", position=17)
+    assert err.position == 17
+    with pytest.raises(errors.ParseError):
+        raise err

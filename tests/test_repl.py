@@ -1,0 +1,66 @@
+"""The interactive REPL loop (host side, paper Fig. 9)."""
+
+import io
+
+import pytest
+
+from repro.repl import main, repl_loop
+from repro.runtime.session import CuLiSession
+
+
+def drive(lines: str, show_timings: bool = False) -> str:
+    session = CuLiSession("gtx480")
+    stdin = io.StringIO(lines)
+    stdout = io.StringIO()
+    repl_loop(session, stdin, stdout, show_timings=show_timings, interactive=False)
+    return stdout.getvalue()
+
+
+class TestBasics:
+    def test_banner_and_result(self):
+        out = drive("(+ 1 2)\n:quit\n")
+        assert "CuLi" in out
+        assert "\n3\n" in out
+        assert "bye" in out
+
+    def test_eof_terminates(self):
+        out = drive("(+ 1 2)\n")
+        assert "3" in out and "bye" in out
+
+    def test_multiline_input(self):
+        out = drive("(let ((a 2)\n      (b 3))\n  (* a b))\n:quit\n")
+        assert "\n6\n" in out
+
+    def test_error_recovery(self):
+        out = drive("(undefined-but-fine)\n(car 5)\n(+ 1 1)\n:quit\n")
+        assert "error:" in out
+        assert "\n2\n" in out  # still alive after the error
+
+    def test_timings_flag(self):
+        out = drive("(+ 1 2)\n:quit\n", show_timings=True)
+        assert ";; parse" in out
+
+
+class TestMetaCommands:
+    def test_help(self):
+        assert ":time" in drive(":help\n:quit\n")
+
+    def test_device(self):
+        assert "gtx480" in drive(":device\n:quit\n")
+
+    def test_time_toggle(self):
+        out = drive(":time\n(+ 1 1)\n:quit\n")
+        assert "timings on" in out
+        assert ";; parse" in out
+
+    def test_room(self):
+        assert "nodes used" in drive(":room\n:quit\n")
+
+    def test_unknown_meta(self):
+        assert "unknown meta-command" in drive(":bogus\n:quit\n")
+
+
+class TestMain:
+    def test_unknown_device_exit_code(self, capsys):
+        assert main(["--device", "nonexistent"]) == 2
+        assert "error" in capsys.readouterr().err
