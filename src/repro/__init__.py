@@ -30,6 +30,8 @@ from .errors import (
 )
 from .ops import CostTable, Op, OpCounts, Phase
 from .runtime import CuLiSession, Fidelity, available_devices, device_for
+from .runtime.batch import BatchItem, BatchRequest, BatchResult
+from .serve import CuLiServer, DevicePool, Scheduler, ServerStats, TenantSession
 from .runtime.workloads import (
     FIB_DEFUN,
     THREAD_SWEEP,
@@ -48,6 +50,15 @@ __all__ = [
     "available_devices",
     "device_for",
     "Fidelity",
+    # multi-tenant serving
+    "CuLiServer",
+    "TenantSession",
+    "DevicePool",
+    "Scheduler",
+    "ServerStats",
+    "BatchRequest",
+    "BatchItem",
+    "BatchResult",
     # interpreter
     "Interpreter",
     "InterpreterOptions",

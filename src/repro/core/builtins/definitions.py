@@ -5,7 +5,10 @@ Paper semantics reproduced here:
 
 * ``defun`` stores an N_FORM in the **global** environment ("user-defined
   functions that are stored in the global environment by the keyword
-  defun") and the form remembers its parameter symbols.
+  defun") and the form remembers its parameter symbols. Under
+  multi-tenant serving the nearest *session root* environment stands in
+  for the global one (see ``Environment.persistent_root``), so tenants
+  sharing a device cannot see each other's definitions.
 * ``let`` "adds a new symbol and the corresponding value to the
   environment of the current expression" — a local binding.
 * ``setq`` "updates the nearest existing symbol that matches", and may
@@ -59,7 +62,7 @@ def _defun(interp, env, ctx, args, depth) -> Node:
     params = args[1]
     _check_params(params, "defun", ctx)
     form = _make_form(interp, ctx, name_node.sval, params, args[2:], NodeType.N_FORM)
-    env.global_env().define(name_node.sval, form, ctx)
+    env.persistent_root().define(name_node.sval, form, ctx)
     return interp.arena.new_symbol(name_node.sval, ctx)
 
 
@@ -76,7 +79,7 @@ def _defmacro(interp, env, ctx, args, depth) -> Node:
     params = args[1]
     _check_params(params, "defmacro", ctx)
     macro = _make_form(interp, ctx, name_node.sval, params, args[2:], NodeType.N_MACRO)
-    env.global_env().define(name_node.sval, macro, ctx)
+    env.persistent_root().define(name_node.sval, macro, ctx)
     return interp.arena.new_symbol(name_node.sval, ctx)
 
 

@@ -39,12 +39,18 @@ class EnvEntry:
 class Environment:
     """A linked-list scope with a parent pointer."""
 
-    __slots__ = ("head", "parent", "label")
+    __slots__ = ("head", "parent", "label", "session_root")
 
     def __init__(self, parent: Optional["Environment"] = None, label: str = "") -> None:
         self.head: Optional[EnvEntry] = None
         self.parent = parent
         self.label = label
+        #: Multi-tenant serving marks one environment per tenant session as
+        #: that session's "global" scope: defines that the paper sends to
+        #: the global environment (defun, defmacro, setq on an unbound
+        #: symbol) stop here instead, so tenants sharing one device cannot
+        #: see each other's definitions.
+        self.session_root = False
 
     # -- structure ------------------------------------------------------------
 
@@ -55,6 +61,14 @@ class Environment:
     def global_env(self) -> "Environment":
         env: Environment = self
         while env.parent is not None:
+            env = env.parent
+        return env
+
+    def persistent_root(self) -> "Environment":
+        """Where "global" defines land: the nearest session root along the
+        parent chain, or the true global environment if there is none."""
+        env: Environment = self
+        while env.parent is not None and not env.session_root:
             env = env.parent
         return env
 
@@ -119,21 +133,32 @@ class Environment:
 
         Returns True if an existing binding was updated. If no binding
         exists anywhere, the paper stores the symbol in the *global*
-        environment (so it persists across REPL inputs); we do the same
-        and return False.
+        environment (so it persists across REPL inputs); we do the same —
+        to the session root under multi-tenant serving — and return False.
+
+        A binding that lives *above* a session root (the shared global
+        environment, e.g. a builtin) is never mutated from inside that
+        session: the symbol is shadowed in the session root instead, so
+        one tenant's setq can't corrupt another tenant's view.
         """
         env: Optional[Environment] = self
+        above_session_root = False
         while env is not None:
             entry = env.head
             while entry is not None:
                 ctx.charge(Op.ENV_STEP)
                 if str_cmp(entry.symbol, symbol, ctx) == 0:
+                    if above_session_root:
+                        self.persistent_root().define(symbol, node, ctx)
+                        return False
                     ctx.charge(Op.NODE_WRITE)
                     entry.node = node
                     return True
                 entry = entry.nxt
+            if env.session_root:
+                above_session_root = True
             env = env.parent
-        self.global_env().define(symbol, node, ctx)
+        self.persistent_root().define(symbol, node, ctx)
         return False
 
     def child(self, label: str = "") -> "Environment":

@@ -66,12 +66,15 @@ def _environment_roots(env: "Environment") -> list[Node]:
 
 
 def collect_garbage(interp: "Interpreter") -> int:
-    """Sweep every node unreachable from the global environment.
+    """Sweep every node unreachable from the global environment or from a
+    registered tenant environment (``interp.extra_roots``).
 
     Returns the number of nodes freed. Runs uncharged (between-command
     housekeeping, outside the paper's kernel phases).
     """
     roots = _environment_roots(interp.global_env)
+    for env in interp.extra_roots:
+        roots.extend(_environment_roots(env))
     roots.append(interp.nil)
     roots.append(interp.true)
     marked = mark_reachable(roots)

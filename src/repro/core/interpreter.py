@@ -84,6 +84,10 @@ class Interpreter:
 
         self.file_service = InMemoryFileService()
         self._output_stack: list[OutputBuffer] = []
+        # Extra GC roots: per-tenant session environments (repro.serve).
+        # Their bindings must survive between-command collection exactly
+        # like the global environment's do.
+        self.extra_roots: list[Environment] = []
         # Deep Lisp recursion nests several Python frames per level.
         if sys.getrecursionlimit() < 100_000:
             sys.setrecursionlimit(100_000)
@@ -106,6 +110,35 @@ class Interpreter:
             ctx.charge(Op.NODE_WRITE, 2)
             node.set_str(builtin.name).set_fn(builtin).seal()
             self.global_env.define(builtin.name, node, ctx)
+
+    # -- tenant environments (multi-tenant serving) -------------------------------
+
+    def create_session_env(self, label: str = "session") -> Environment:
+        """A persistent per-tenant scope chained to the global environment.
+
+        The environment is a *session root*: defun/defmacro/setq-created
+        bindings stop there (tenant isolation), and it is registered as a
+        GC root so those bindings survive between-command collection.
+        """
+        env = self.global_env.child(label=label)
+        env.session_root = True
+        self.register_root_env(env)
+        return env
+
+    def release_session_env(self, env: Environment) -> None:
+        """Drop a tenant scope; its private bindings become garbage."""
+        self.unregister_root_env(env)
+
+    def register_root_env(self, env: Environment) -> None:
+        """Keep ``env``'s bindings alive across garbage collections."""
+        self.extra_roots.append(env)
+
+    def unregister_root_env(self, env: Environment) -> None:
+        """Drop a tenant environment; its private bindings become garbage."""
+        try:
+            self.extra_roots.remove(env)
+        except ValueError:
+            pass
 
     # -- node utilities ------------------------------------------------------------
 

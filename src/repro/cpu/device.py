@@ -11,21 +11,25 @@ construction (no CUDA context), which is why the paper's CPUs start
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..context import CountingContext
 from ..core.interpreter import Interpreter, InterpreterOptions
-from ..errors import DeviceShutdownError
-from ..gpu.hostlink import parens_balanced, sanitize_input
+from ..errors import DeviceShutdownError, LispError
+from ..gpu.hostlink import parens_balanced, sanitize_input, unbalanced_error
 from ..gpu.memory import OutputBuffer, SourceBuffer
 from ..errors import UnbalancedInputError
 from ..ops import Phase
+from ..runtime.batch import BatchItem, BatchRequest, BatchResult
 from ..runtime.fidelity import Fidelity
 from ..timing import CommandStats, PhaseBreakdown
 from .pool import CPUParallelEngine
 from .specs import CPUSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.environment import Environment
 
 __all__ = ["CPUDevice", "CPUDeviceConfig"]
 
@@ -93,17 +97,30 @@ class CPUDevice:
     def closed(self) -> bool:
         return self._closed
 
+    # -- tenant environments (multi-tenant serving) -------------------------------
+
+    def create_session_env(self, label: str = "session") -> "Environment":
+        """A persistent per-tenant session-root scope (tenant isolation +
+        GC-root registration — see :meth:`Interpreter.create_session_env`)."""
+        return self.interp.create_session_env(label)
+
+    def release_session_env(self, env: "Environment") -> None:
+        self.interp.release_session_env(env)
+
     # -- command execution -------------------------------------------------------------
 
-    def submit(self, text: str, sanitize: bool = True) -> CommandStats:
+    def submit(
+        self,
+        text: str,
+        sanitize: bool = True,
+        env: Optional["Environment"] = None,
+    ) -> CommandStats:
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
         if sanitize:
             text = sanitize_input(text)
         if not parens_balanced(text):
-            raise UnbalancedInputError(
-                f"unbalanced parentheses: {text.count('(')} '(' vs {text.count(')')} ')'"
-            )
+            raise unbalanced_error(text)
 
         master = self.master_ctx
         master.reset()
@@ -113,7 +130,7 @@ class CPUDevice:
         source = SourceBuffer(text)
         out = OutputBuffer(capacity=1 << 20)
         try:
-            output = self.interp.process(source, master, out)
+            output = self.interp.process(source, master, out, env=env)
         except Exception:
             if self.interp.options.gc_after_command:
                 self.interp.collect_garbage()
@@ -145,5 +162,135 @@ class CPUDevice:
             output_chars=len(output),
             jobs=self.engine.jobs,
             rounds=self.engine.round_count,
+            nodes_freed=freed,
+        )
+
+    def submit_batch(self, requests: Sequence[BatchRequest]) -> BatchResult:
+        """Run many tenants' commands as one batched transaction.
+
+        On the CPU there is no PCIe and no lockstep: each request runs
+        start-to-finish (parse/eval/print) on its own pthread, and the
+        batch executes in waves of ``hw_threads`` concurrent requests —
+        wave wall time is the slowest request in the wave. The
+        condition-variable wake (``command_overhead_us``) is paid once
+        per batch instead of once per command.
+        """
+        if self._closed:
+            raise DeviceShutdownError(f"device {self.name} has been shut down")
+        requests = list(requests)
+        n = len(requests)
+        if n == 0:
+            return BatchResult()
+        texts = [sanitize_input(r.text) for r in requests]
+
+        self.engine.begin_command()
+        jobs_before = self.engine.jobs
+        rounds_before = self.engine.round_count
+
+        job_cycles = np.zeros(n, dtype=np.float64)
+        phase_cycles = [
+            {Phase.PARSE: 0.0, Phase.EVAL: 0.0, Phase.PRINT: 0.0} for _ in range(n)
+        ]
+        outputs = [""] * n
+        errors: list[Optional[Exception]] = [None] * n
+        cost_vec = self.spec.costs.vector
+
+        try:
+            for i, (req, text) in enumerate(zip(requests, texts)):
+                rctx = CountingContext(
+                    max_depth=self.spec.max_recursion_depth, thread_id=i
+                )
+                rctx.set_phase(Phase.EVAL)
+                out = OutputBuffer(capacity=1 << 20)
+                env = req.env if req.env is not None else self.interp.global_env
+                nested_wall0 = self.engine.worker_wall_cycles
+                try:
+                    if not parens_balanced(text):
+                        raise unbalanced_error(text)
+                    outputs[i] = self.interp.process(
+                        SourceBuffer(text), rctx, out, env=env
+                    )
+                except LispError as exc:
+                    errors[i] = exc
+                    outputs[i] = f"error: {exc}"
+                except UnbalancedInputError as exc:
+                    errors[i] = exc
+                    outputs[i] = f"error: {exc}"
+                nested_wall = self.engine.worker_wall_cycles - nested_wall0
+                for phase in (Phase.PARSE, Phase.EVAL, Phase.PRINT):
+                    row = np.asarray(rctx.counts.rows[phase], dtype=np.float64)
+                    phase_cycles[i][phase] = float(cost_vec @ row)
+                phase_cycles[i][Phase.EVAL] += nested_wall
+                job_cycles[i] = sum(phase_cycles[i].values())
+        except Exception:
+            # Device-level failure (e.g. arena exhaustion): reclaim the
+            # batch's partial trees, matching submit's failure path.
+            if self.interp.options.gc_after_command:
+                self.interp.collect_garbage()
+            raise
+
+        # Greedy wave schedule: hw_threads requests run concurrently; each
+        # wave lasts as long as its slowest request.
+        width = self.spec.hw_threads
+        wall_cycles = 0.0
+        waves = 0
+        for start in range(0, n, width):
+            wall_cycles += float(job_cycles[start : start + width].max())
+            waves += 1
+        total_cycles = float(job_cycles.sum())
+        # The batch's kernel wall time keeps each phase's share of the
+        # summed work (phases interleave across concurrent threads).
+        shrink = wall_cycles / total_cycles if total_cycles > 0 else 0.0
+
+        to_ms = self.spec.cycles_to_ms
+        sum_phase = {
+            phase: sum(pc[phase] for pc in phase_cycles)
+            for phase in (Phase.PARSE, Phase.EVAL, Phase.PRINT)
+        }
+        batch_times = PhaseBreakdown(
+            parse_ms=to_ms(sum_phase[Phase.PARSE] * shrink),
+            eval_ms=to_ms(sum_phase[Phase.EVAL] * shrink),
+            print_ms=to_ms(sum_phase[Phase.PRINT] * shrink),
+            other_ms=self.spec.command_overhead_us / 1000.0,  # ONE wake
+            transfer_ms=0.0,
+            host_ms=_HOST_LOOP_MS,
+            worker_ms=to_ms(wall_cycles),
+        )
+
+        freed = 0
+        if self.interp.options.gc_after_command:
+            freed = self.interp.collect_garbage()
+        self.commands_executed += n
+
+        share = PhaseBreakdown(
+            other_ms=batch_times.other_ms, host_ms=batch_times.host_ms
+        ).scaled(1.0 / n)
+        items: list[BatchItem] = []
+        for i, req in enumerate(requests):
+            times = PhaseBreakdown(
+                parse_ms=to_ms(phase_cycles[i][Phase.PARSE]),
+                eval_ms=to_ms(phase_cycles[i][Phase.EVAL]),
+                print_ms=to_ms(phase_cycles[i][Phase.PRINT]),
+                worker_ms=to_ms(job_cycles[i]),
+            ).merged_with(share)
+            items.append(
+                BatchItem(
+                    request=req,
+                    stats=CommandStats(
+                        output=outputs[i],
+                        times=times,
+                        input_chars=len(texts[i]),
+                        output_chars=len(outputs[i]),
+                        jobs=1 if errors[i] is None else 0,
+                        rounds=1 if errors[i] is None else 0,
+                    ),
+                    error=errors[i],
+                )
+            )
+        return BatchResult(
+            items=items,
+            times=batch_times,
+            jobs=(self.engine.jobs - jobs_before) + sum(1 for e in errors if e is None),
+            rounds=(self.engine.round_count - rounds_before) + waves,
             nodes_freed=freed,
         )

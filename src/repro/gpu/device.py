@@ -15,25 +15,37 @@ building the global environment (charged op-by-op) + the graceful stop
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..context import CountingContext
 from ..core.interpreter import Interpreter, InterpreterOptions
+from ..core.printer import Printer
+from ..core.reader import Parser
 from ..errors import DeviceShutdownError
 from ..gpu.cache import SetAssociativeCache
 from ..gpu.fileio import FileServiceLink, HostFileSystem
 from ..gpu.grid import GridConfig
-from ..gpu.hostlink import CommandBuffer, sanitize_input
-from ..gpu.kernel import GPUParallelEngine
+from ..gpu.hostlink import (
+    CommandBuffer,
+    parens_balanced,
+    sanitize_input,
+    unbalanced_error,
+)
+from ..gpu.kernel import GPUParallelEngine, ServiceJob
 from ..gpu.memory import GlobalMemory, OutputBuffer, SourceBuffer
 from ..gpu.postbox import PostboxArray
 from ..gpu.specs import GPUSpec
 from ..core.nodes import NODE_BYTES
+from ..errors import HostProtocolError, LispError
 from ..ops import Op, Phase
+from ..runtime.batch import BatchItem, BatchRequest, BatchResult
 from ..runtime.fidelity import Fidelity
 from ..timing import CommandStats, PhaseBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.environment import Environment
 
 __all__ = ["GPUDevice", "GPUDeviceConfig"]
 
@@ -163,10 +175,31 @@ class GPUDevice:
     def closed(self) -> bool:
         return self._closed
 
+    # -- tenant environments (multi-tenant serving) -------------------------------
+
+    def create_session_env(self, label: str = "session") -> "Environment":
+        """A persistent per-tenant session-root scope (tenant isolation +
+        GC-root registration — see :meth:`Interpreter.create_session_env`)."""
+        return self.interp.create_session_env(label)
+
+    def release_session_env(self, env: "Environment") -> None:
+        """Drop a tenant scope; its bindings become garbage."""
+        self.interp.release_session_env(env)
+
     # -- command execution ------------------------------------------------------------
 
-    def submit(self, text: str, sanitize: bool = True) -> CommandStats:
-        """Run one REPL command through the full host<->device protocol."""
+    def submit(
+        self,
+        text: str,
+        sanitize: bool = True,
+        env: Optional["Environment"] = None,
+    ) -> CommandStats:
+        """Run one REPL command through the full host<->device protocol.
+
+        ``env`` selects the persistent scope the command runs in (a
+        tenant's session environment); None means the global environment,
+        i.e. classic single-tenant CuLi.
+        """
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
         if sanitize:
@@ -187,7 +220,7 @@ class GPUDevice:
         source = SourceBuffer(self.cmdbuf.device_read(), base=self.input_region.base)
         out = OutputBuffer(base=self.output_region.base, capacity=self.cmdbuf.capacity)
         try:
-            output = self.interp.process(source, master, out)
+            output = self.interp.process(source, master, out, env=env)
         except Exception:
             # The device releases the buffer so the REPL stays alive,
             # and reclaims the failed command's partial trees.
@@ -225,6 +258,231 @@ class GPUDevice:
             times=times,
             input_chars=len(text),
             output_chars=len(result_text),
+            jobs=self.engine.jobs,
+            rounds=self.engine.round_count,
+            nodes_freed=freed,
+        )
+
+    def submit_batch(self, requests: Sequence[BatchRequest]) -> BatchResult:
+        """Run many tenants' commands as one batched device transaction.
+
+        The multi-tenant execution model (repro.serve): one mapped-buffer
+        upload carries the whole batch, the master parses each request
+        serially (parsing stays the paper's serial bottleneck), then all
+        requests are distributed to worker threads as shared ``|||``-style
+        service rounds — tenants evaluate *concurrently*, one warp each —
+        and the master prints each result and releases the buffer once.
+        The per-command handshake, the PCIe latency, and the distribution
+        overhead are paid once per batch instead of once per command.
+
+        Lisp-level errors are isolated per request; device-level errors
+        abort the batch (the buffer is released and garbage collected,
+        matching :meth:`submit`).
+
+        A batch whose combined payload exceeds the command buffer is
+        transparently split into several capacity-bounded buffer
+        transactions (each paying its own upload/download), so callers
+        never see a size failure for individually-valid commands.
+        """
+        if self._closed:
+            raise DeviceShutdownError(f"device {self.name} has been shut down")
+        requests = list(requests)
+        if not requests:
+            return BatchResult()
+        texts = [sanitize_input(r.text) for r in requests]
+
+        chunks = self._payload_chunks(texts)
+        if len(chunks) > 1:
+            merged = BatchResult()
+            for chunk in chunks:
+                part = self._submit_batch_txn(
+                    [requests[i] for i in chunk], [texts[i] for i in chunk]
+                )
+                merged.items.extend(part.items)
+                merged.times = merged.times.merged_with(part.times)
+                merged.jobs += part.jobs
+                merged.rounds += part.rounds
+                merged.nodes_freed += part.nodes_freed
+            return merged
+        return self._submit_batch_txn(requests, texts)
+
+    def _payload_chunks(self, texts: list[str]) -> list[list[int]]:
+        """Split request indices so each chunk's joined payload fits the
+        command buffer. Requests refused before upload (unbalanced, or
+        singly over-capacity) carry no payload and stay in place."""
+        cap = self.cmdbuf.capacity
+        chunks: list[list[int]] = [[]]
+        payload = 0
+        for i, text in enumerate(texts):
+            size = len(text.encode()) + 1  # join separator
+            if not parens_balanced(text) or size - 1 > cap:
+                chunks[-1].append(i)
+                continue
+            if chunks[-1] and payload + size > cap:
+                chunks.append([i])
+                payload = size
+            else:
+                chunks[-1].append(i)
+                payload += size
+        return [chunk for chunk in chunks if chunk]
+
+    def _submit_batch_txn(
+        self, requests: list[BatchRequest], texts: list[str]
+    ) -> BatchResult:
+        """One capacity-bounded batch transaction (see submit_batch)."""
+        n = len(requests)
+
+        # The host's upload gate applies per request: an unbalanced or
+        # oversized command is refused (and reported) without failing
+        # its batch.
+        pre_errors: dict[int, Exception] = {}
+        for i, text in enumerate(texts):
+            if not parens_balanced(text):
+                pre_errors[i] = unbalanced_error(text)
+            elif len(text.encode()) > self.cmdbuf.capacity:
+                pre_errors[i] = HostProtocolError(
+                    f"input of {len(text.encode())} B exceeds command "
+                    f"buffer ({self.cmdbuf.capacity} B)"
+                )
+
+        # Host packs the batch into one mapped-buffer transaction.
+        payload = " ".join(t for i, t in enumerate(texts) if i not in pre_errors)
+        up_ms = self.cmdbuf.host_upload(payload)
+
+        master = self.master_ctx
+        master.reset()
+        master.set_phase(Phase.EVAL)
+        self.engine.begin_command()
+        self.file_link.stats.reset()
+        cache_hits0 = self.cache.stats.hits
+        cache_miss0 = self.cache.stats.misses
+        self.cmdbuf.device_read()  # master wakes once for the whole batch
+
+        jobs: list[ServiceJob] = []
+        parse_cycles = [0.0] * n
+        print_cycles = [0.0] * n
+        outputs = [""] * n
+        try:
+            # ---- master: serial parse scan over every request (PARSE) ----
+            master.set_phase(Phase.PARSE)
+            offset = 0
+            for i, (req, text) in enumerate(zip(requests, texts)):
+                out = OutputBuffer(
+                    base=self.output_region.base, capacity=self.cmdbuf.capacity
+                )
+                env = req.env if req.env is not None else self.interp.global_env
+                job = ServiceJob([], env, out)
+                if i in pre_errors:
+                    job.error = pre_errors[i]
+                    jobs.append(job)
+                    continue
+                c0 = self.master_cycles(Phase.PARSE)
+                try:
+                    parser = Parser(self.interp, master)
+                    job.forms = parser.parse(
+                        SourceBuffer(text, base=self.input_region.base + offset)
+                    )
+                except LispError as exc:
+                    job.error = exc
+                parse_cycles[i] = self.master_cycles(Phase.PARSE) - c0
+                offset += len(text) + 1
+                jobs.append(job)
+
+            # ---- shared service rounds: workers evaluate tenants (EVAL) ----
+            master.set_phase(Phase.EVAL)
+            runnable = [job for job in jobs if job.error is None]
+            per_job_cycles = dict(
+                zip(map(id, runnable), self.engine.run_service_batch(self.interp, runnable))
+            )
+
+            # ---- master: print each request's results (PRINT) -------------
+            master.set_phase(Phase.PRINT)
+            for i, job in enumerate(jobs):
+                c0 = self.master_cycles(Phase.PRINT)
+                if job.error is None and job.results is not None:
+                    job.out.bind(master)
+                    printer = Printer(master)
+                    for j, result in enumerate(job.results):
+                        if j:
+                            job.out.append(" ")
+                        printer.print_node(result, job.out, readable=True)
+                    outputs[i] = job.out.getvalue()
+                else:
+                    outputs[i] = f"error: {job.error}"
+                print_cycles[i] = self.master_cycles(Phase.PRINT) - c0
+            master.set_phase(Phase.OTHER)
+        except Exception:
+            # Device-level failure: release the buffer so the REPL stays
+            # alive and reclaim the batch's partial trees.
+            self.cmdbuf.dev_sync = 0
+            if self.interp.options.gc_after_command:
+                self.interp.collect_garbage()
+            raise
+
+        # One downstream transaction returns every tenant's output.
+        self.cmdbuf.device_write_result(" ".join(outputs))
+        _, down_ms = self.cmdbuf.host_download()
+
+        to_ms = self.spec.cycles_to_ms
+        batch_times = PhaseBreakdown(
+            parse_ms=to_ms(self.master_cycles(Phase.PARSE)),
+            eval_ms=to_ms(self.master_cycles(Phase.EVAL))
+            + to_ms(self.engine.worker_wall_cycles),
+            print_ms=to_ms(self.master_cycles(Phase.PRINT)),
+            other_ms=self.spec.command_overhead_us / 1000.0,  # ONE handshake
+            transfer_ms=up_ms + down_ms + self.file_link.stats.transfer_ms,
+            host_ms=_HOST_LOOP_MS,
+            distribute_ms=to_ms(self.engine.distribute_cycles),
+            worker_ms=to_ms(self.engine.worker_wall_cycles),
+            collect_ms=to_ms(self.engine.collect_cycles),
+            spin_cycles=self.engine.spin_cycles,
+            cache_hits=self.cache.stats.hits - cache_hits0,
+            cache_misses=self.cache.stats.misses - cache_miss0,
+        )
+
+        freed = 0
+        if self.interp.options.gc_after_command:
+            freed = self.interp.collect_garbage()
+        self.commands_executed += n
+
+        # Shared costs (handshake, transfer, distribute/collect, host
+        # loop) are attributed evenly so per-request stats stay additive.
+        share = PhaseBreakdown(
+            other_ms=batch_times.other_ms,
+            transfer_ms=batch_times.transfer_ms,
+            host_ms=batch_times.host_ms,
+            distribute_ms=batch_times.distribute_ms,
+            collect_ms=batch_times.collect_ms,
+            eval_ms=batch_times.distribute_ms + batch_times.collect_ms,
+            spin_cycles=batch_times.spin_cycles,
+        ).scaled(1.0 / n)
+
+        items: list[BatchItem] = []
+        for i, (req, job) in enumerate(zip(requests, jobs)):
+            own_eval_ms = to_ms(per_job_cycles.get(id(job), 0.0))
+            times = PhaseBreakdown(
+                parse_ms=to_ms(parse_cycles[i]),
+                eval_ms=own_eval_ms,
+                print_ms=to_ms(print_cycles[i]),
+                worker_ms=own_eval_ms,
+            ).merged_with(share)
+            items.append(
+                BatchItem(
+                    request=req,
+                    stats=CommandStats(
+                        output=outputs[i],
+                        times=times,
+                        input_chars=len(texts[i]),
+                        output_chars=len(outputs[i]),
+                        jobs=1 if job.error is None else 0,
+                        rounds=1 if job.error is None else 0,
+                    ),
+                    error=job.error,
+                )
+            )
+        return BatchResult(
+            items=items,
+            times=batch_times,
             jobs=self.engine.jobs,
             rounds=self.engine.round_count,
             nodes_freed=freed,

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from ..errors import HostProtocolError, UnbalancedInputError
 from .specs import GPUSpec
 
-__all__ = ["CommandBuffer", "sanitize_input", "parens_balanced"]
+__all__ = ["CommandBuffer", "sanitize_input", "parens_balanced", "unbalanced_error"]
 
 
 def parens_balanced(text: str) -> bool:
@@ -30,6 +30,13 @@ def parens_balanced(text: str) -> bool:
     nesting errors surface later in the device-side parser.
     """
     return text.count("(") == text.count(")")
+
+
+def unbalanced_error(text: str) -> UnbalancedInputError:
+    """The upload gate's refusal, built in one place for every path."""
+    return UnbalancedInputError(
+        f"unbalanced parentheses: {text.count('(')} '(' vs {text.count(')')} ')'"
+    )
 
 
 def sanitize_input(text: str) -> str:
@@ -80,9 +87,7 @@ class CommandBuffer:
         if self.dev_sync:
             raise HostProtocolError("device still owns the buffer (dev_sync == 1)")
         if not parens_balanced(text):
-            raise UnbalancedInputError(
-                f"unbalanced parentheses: {text.count('(')} '(' vs {text.count(')')} ')'"
-            )
+            raise unbalanced_error(text)
         data = text.encode()
         if len(data) > self.capacity:
             raise HostProtocolError(

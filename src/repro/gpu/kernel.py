@@ -31,7 +31,7 @@ import numpy as np
 from ..context import CountingContext, ExecContext, NullContext
 from ..core.interpreter import sequential_engine
 from ..core.nodes import Node, NodeType
-from ..errors import LivelockError
+from ..errors import LispError, LivelockError
 from ..ops import Op, Phase
 from ..runtime.fidelity import Fidelity, group_rows, task_signature
 
@@ -40,7 +40,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.interpreter import Interpreter
     from .device import GPUDevice
 
-__all__ = ["GPUParallelEngine", "RoundReport"]
+__all__ = ["GPUParallelEngine", "RoundReport", "ServiceJob"]
+
+
+class ServiceJob:
+    """One tenant request distributed as a worker job (serving layer).
+
+    ``forms`` are the request's parsed top-level forms, ``env`` the
+    tenant's persistent environment, ``out`` the request's private output
+    buffer (``princ`` during worker evaluation lands there).
+    """
+
+    __slots__ = ("forms", "env", "out", "results", "error")
+
+    def __init__(self, forms, env, out) -> None:
+        self.forms = forms
+        self.env = env
+        self.out = out
+        self.results: Optional[list[Node]] = None
+        self.error: Optional[Exception] = None
 
 
 class RoundReport:
@@ -274,6 +292,156 @@ class GPUParallelEngine:
             )
         )
         return wall
+
+    # -- multi-tenant service rounds (repro.serve) --------------------------------
+
+    def run_service_batch(
+        self, interp: "Interpreter", jobs: list[ServiceJob]
+    ) -> list[float]:
+        """Evaluate many tenants' commands as shared distribution rounds.
+
+        This reuses the ``|||`` master/worker machinery (Alg. 1) with one
+        job per *tenant request* instead of one job per ``|||`` argument:
+        the master deposits each request's parsed forms in a worker's
+        postbox, raises the per-block sync flags once per touched block,
+        waits, and collects — so the distribute/collect overhead and the
+        flag traffic are amortized across every tenant in the round.
+
+        Placement differs from ``|||`` rounds: different tenants run
+        *different* code, and divergent lanes within a warp serialize
+        (paper §III-D-d), so jobs are spread one-per-warp first and only
+        share a warp once every warp has a job. A warp's time is the sum
+        of its jobs' lane times; the round's wall time is the max over
+        warps.
+
+        Lisp-level failures are confined to their job (``job.error``);
+        device-level failures propagate. Returns per-job lane cycles (the
+        request's own eval time). Wall/distribute/collect/spin cycles
+        accumulate on the engine exactly like ``|||`` rounds.
+        """
+        dev = self.device
+        grid = dev.grid
+        spec = dev.spec
+        master = dev.master_ctx
+        n = len(jobs)
+        if n == 0:
+            return []
+        if not grid.master_block_disabled and not spec.independent_thread_scheduling:
+            # Same Fig. 12 hazard as ||| rounds: the master's warp
+            # diverges at the block barrier the service workers hit.
+            raise LivelockError(
+                "master-block worker threads are enabled: the master warp "
+                "diverges at the block barrier and spins forever (Fig. 12)"
+            )
+        if not dev.enable_block_sync_flag and not spec.independent_thread_scheduling:
+            # Service rounds rarely fill whole warps, so without the
+            # per-block sync flag the idle lockstep lanes of every
+            # touched block spin forever (paper Fig. 13).
+            raise LivelockError(
+                "multi-tenant service rounds need the block sync flag: "
+                "partially filled warps livelock without it (Fig. 13)"
+            )
+        workers = grid.worker_count
+        n_warps = max(1, workers // spec.warp_size)
+
+        per_job_cycles = [0.0] * n
+        self._active = True  # a nested ||| inside a request runs sequentially
+        try:
+            offset = 0
+            while offset < n:
+                k = min(workers, n - offset)
+                round_jobs = jobs[offset : offset + k]
+                last_round = offset + k >= n
+                # One job per warp first; wrap to second lanes only when
+                # every warp is occupied.
+                if k <= n_warps * spec.warp_size and n_warps * spec.warp_size <= workers:
+                    slots = [
+                        (j % n_warps) * spec.warp_size + (j // n_warps)
+                        for j in range(k)
+                    ]
+                else:  # tiny/ablation grids: fall back to dense packing
+                    slots = list(range(k))
+                warp_of = [slot // spec.warp_size for slot in slots]
+                warps_touched = len(set(warp_of))
+
+                # ---- master: distribution ---------------------------------
+                c0 = dev.master_cycles(Phase.EVAL)
+                for j, job in enumerate(round_jobs):
+                    master.charge(Op.NODE_READ)  # fetch request root
+                    box = dev.postboxes[grid.worker_tid(slots[j])]
+                    box.assign(job.forms, master)
+                if dev.enable_block_sync_flag:
+                    master.charge(Op.ATOMIC_RMW, warps_touched)
+                    if last_round:
+                        idle_blocks = (grid.n_blocks - 1) - warps_touched
+                        if idle_blocks > 0:
+                            master.charge(Op.ATOMIC_RMW, idle_blocks)
+                c1 = dev.master_cycles(Phase.EVAL)
+                self.distribute_cycles += c1 - c0
+
+                # ---- workers: each evaluates one tenant's forms -----------
+                cost_vec = spec.costs.vector
+                lane_cycles = np.zeros(k, dtype=np.float64)
+                for j, job in enumerate(round_jobs):
+                    wctx = self._worker_context(grid.worker_tid(slots[j]))
+                    box = dev.postboxes[grid.worker_tid(slots[j])]
+                    wctx.charge(Op.BARRIER)
+                    wctx.charge(Op.FENCE)
+                    wctx.charge(Op.ATOMIC_LOAD, 2)
+                    wctx.charge(Op.POSTBOX_READ)
+                    # princ during eval is the worker's work (single-command
+                    # mode charges the same appends to its one context).
+                    job.out.bind(wctx)
+                    interp.push_output(job.out)
+                    try:
+                        job.results = [
+                            interp.eval_node(form, job.env, wctx, 0)
+                            for form in job.forms
+                        ]
+                    except LispError as exc:
+                        job.error = exc
+                        job.results = None
+                    finally:
+                        interp.pop_output()
+                    wctx.charge(Op.BARRIER)
+                    box.complete(job.results, wctx)
+                    lane_cycles[j] = float(cost_vec @ wctx.counts.total()) + sum(
+                        wctx.extra_cycles
+                    )
+                    per_job_cycles[offset + j] = float(lane_cycles[j])
+
+                # Divergent tenants in one warp serialize; warps run
+                # concurrently.
+                warp_sums: dict[int, float] = {}
+                for j in range(k):
+                    warp_sums[warp_of[j]] = warp_sums.get(warp_of[j], 0.0) + float(
+                        lane_cycles[j]
+                    )
+                wall = max(warp_sums.values()) if warp_sums else 0.0
+                self.worker_wall_cycles += wall
+                idle_lane_cycles = float(wall * k - lane_cycles.sum())
+                self.spin_cycles += idle_lane_cycles + wall * (workers - k)
+
+                # ---- master: collection -----------------------------------
+                c2 = dev.master_cycles(Phase.EVAL)
+                for j in range(k):
+                    dev.postboxes[grid.worker_tid(slots[j])].collect(master)
+                c3 = dev.master_cycles(Phase.EVAL)
+                self.collect_cycles += c3 - c2
+
+                self.jobs += k
+                self.rounds.append(
+                    RoundReport(
+                        jobs=k,
+                        warps_touched=warps_touched,
+                        wall_cycles=wall,
+                        groups=k,
+                    )
+                )
+                offset += k
+        finally:
+            self._active = False
+        return per_job_cycles
 
     def _worker_context(self, tid: int) -> CountingContext:
         spec = self.device.spec

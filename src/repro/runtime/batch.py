@@ -1,0 +1,80 @@
+"""Batched multi-tenant submission: the request/result types shared by
+the device back-ends and the serving layer.
+
+A :class:`BatchRequest` is one tenant's REPL command plus the persistent
+environment it must run in (``None`` means the device's true global
+environment, i.e. classic single-tenant behaviour). Devices accept a
+whole batch at once through ``submit_batch`` and amortize the
+per-command costs the paper charges once per REPL input — the mapped
+memory handshake, the PCIe transfer latency, and (on the GPU) the
+master's distribute/collect work, which is shared across tenants inside
+``|||``-style service rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.environment import Environment
+from ..timing import CommandStats, PhaseBreakdown
+
+__all__ = ["BatchRequest", "BatchItem", "BatchResult"]
+
+
+@dataclass
+class BatchRequest:
+    """One tenant command queued for batched execution."""
+
+    text: str
+    env: Optional[Environment] = None  #: tenant scope; None = device global env
+    tag: Any = None                    #: opaque routing key (e.g. a session id)
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one request within a batch.
+
+    Lisp-level failures (parse errors, evaluation errors) are isolated
+    per request: ``error`` carries the exception and ``stats.output`` the
+    rendered message, while the rest of the batch completes normally.
+    Device-level failures abort the whole batch.
+    """
+
+    request: BatchRequest
+    stats: CommandStats
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchResult:
+    """All outcomes of one ``submit_batch`` call plus the true batch totals.
+
+    ``times`` counts every shared cost exactly once, so ``times.total_ms``
+    is the simulated wall time of the whole batch. Each item's
+    ``stats.times`` carries that item's own work plus a 1/n share of the
+    shared overheads; summing item evals generally *exceeds* the batch
+    eval wall time because tenants evaluated concurrently on workers.
+    """
+
+    items: list[BatchItem] = field(default_factory=list)
+    times: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    jobs: int = 0          #: worker jobs executed (service + nested |||)
+    rounds: int = 0        #: shared distribution rounds used
+    nodes_freed: int = 0   #: nodes reclaimed by end-of-batch collection
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    @property
+    def outputs(self) -> list[str]:
+        return [item.stats.output for item in self.items]
+
+    @property
+    def errors(self) -> list[Exception]:
+        return [item.error for item in self.items if item.error is not None]

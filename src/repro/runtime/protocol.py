@@ -1,0 +1,102 @@
+"""The host-side REPL input protocol, separated from device ownership.
+
+The paper's host loop (Fig. 9) "fetches, sanitizes and uploads the
+input": it accumulates lines until the parenthesis counts balance, then
+uploads one complete command. That behaviour is independent of *which*
+device (or shared serving pool) executes the command, so it lives here
+as :class:`HostProtocol` — a small state machine over a ``submit``
+callback. :class:`~repro.runtime.session.CuLiSession` drives it against
+a privately owned device; :class:`~repro.serve.session.TenantSession`
+drives the same protocol against a shared :class:`~repro.serve.server.CuLiServer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Optional, TypeVar
+
+from ..gpu.hostlink import parens_balanced, sanitize_input
+
+__all__ = ["HostProtocol", "split_top_level_forms"]
+
+T = TypeVar("T")
+
+
+class HostProtocol(Generic[T]):
+    """Line accumulation + sanitize + upload gate, over any submit target.
+
+    ``submit`` receives one sanitized, paren-balanced command and returns
+    whatever the execution layer produces (``CommandStats`` for a device
+    session, a ticket for a served session).
+    """
+
+    def __init__(self, submit: Callable[[str], T]) -> None:
+        self._submit = submit
+        self._pending = ""
+
+    @property
+    def pending_input(self) -> str:
+        return self._pending
+
+    def reset(self) -> None:
+        """Drop any accumulated partial input."""
+        self._pending = ""
+
+    def feed_line(self, line: str) -> Optional[T]:
+        """Interactive-prompt behaviour: accumulate lines until the
+        parenthesis counts balance, then upload (paper: "The host uploads
+        the input to the GPU if the number of opening and closing
+        parentheses is equal"). Returns None while input is incomplete."""
+        self._pending = (self._pending + " " + line).strip() if self._pending else line
+        candidate = sanitize_input(self._pending)
+        if not candidate:
+            self._pending = ""
+            return None
+        if not parens_balanced(candidate):
+            return None
+        self._pending = ""
+        return self._submit(candidate)
+
+    def run_program(self, source: str) -> list[T]:
+        """Run a multi-form program: each top-level form is one command
+        (strips ';' line comments first — a host-side convenience)."""
+        return [self._submit(form) for form in split_top_level_forms(source)]
+
+
+def split_top_level_forms(source: str) -> list[str]:
+    """Split a program into balanced top-level forms (host-side utility).
+
+    Handles ';' comments and strings; raises nothing — unbalanced input
+    surfaces later through the device's upload gate.
+    """
+    forms: list[str] = []
+    current: list[str] = []
+    level = 0
+    in_string = False
+    in_comment = False
+    for ch in source:
+        if in_comment:
+            if ch == "\n":
+                in_comment = False
+                ch = " "
+            else:
+                continue
+        if ch == '"':
+            in_string = not in_string
+        elif not in_string:
+            if ch == ";":
+                in_comment = True
+                continue
+            if ch == "(":
+                level += 1
+            elif ch == ")":
+                level -= 1
+        current.append(ch)
+        if level == 0 and current and not in_string:
+            text = "".join(current).strip()
+            if text and parens_balanced(text) and text.endswith(")"):
+                forms.append(text)
+                current = []
+    tail = "".join(current).strip()
+    if tail:
+        forms.append(tail)
+    return forms

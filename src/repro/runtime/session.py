@@ -5,21 +5,26 @@ input, refuses to upload until parentheses balance (accumulating partial
 input like the interactive prompt does), submits commands, and exposes
 the timing of each step. The device-side environment persists across
 commands for the lifetime of the session.
+
+The input protocol itself (line accumulation, sanitize, upload gate)
+lives in :mod:`repro.runtime.protocol` so the multi-tenant serving layer
+(:mod:`repro.serve`) can reuse it against a shared device pool; this
+class binds the protocol to a privately owned device.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..cpu.device import CPUDevice, CPUDeviceConfig
-from ..gpu.device import GPUDevice, GPUDeviceConfig
-from ..gpu.hostlink import parens_balanced, sanitize_input
+from ..cpu.device import CPUDeviceConfig
+from ..gpu.device import GPUDeviceConfig
 from ..gpu.specs import GPUSpec
 from ..cpu.specs import CPUSpec
 from ..timing import CommandStats, PhaseBreakdown
 from .devices import device_for
+from .protocol import HostProtocol, split_top_level_forms
 
-__all__ = ["CuLiSession"]
+__all__ = ["CuLiSession", "split_top_level_forms"]
 
 
 class CuLiSession:
@@ -40,7 +45,7 @@ class CuLiSession:
     ) -> None:
         self.device = device_for(device, gpu_config=gpu_config, cpu_config=cpu_config)
         self.history: list[CommandStats] = []
-        self._pending = ""
+        self._protocol: HostProtocol[CommandStats] = HostProtocol(self.submit)
 
     # -- properties ---------------------------------------------------------------
 
@@ -72,31 +77,17 @@ class CuLiSession:
         return stats
 
     def feed_line(self, line: str) -> Optional[CommandStats]:
-        """Interactive-prompt behaviour: accumulate lines until the
-        parenthesis counts balance, then upload (paper: "The host uploads
-        the input to the GPU if the number of opening and closing
-        parentheses is equal"). Returns None while input is incomplete."""
-        self._pending = (self._pending + " " + line).strip() if self._pending else line
-        candidate = sanitize_input(self._pending)
-        if not candidate:
-            self._pending = ""
-            return None
-        if not parens_balanced(candidate):
-            return None
-        self._pending = ""
-        return self.submit(candidate)
+        """Accumulate lines until parentheses balance, then submit
+        (see :meth:`HostProtocol.feed_line`)."""
+        return self._protocol.feed_line(line)
 
     @property
     def pending_input(self) -> str:
-        return self._pending
+        return self._protocol.pending_input
 
     def run_program(self, source: str) -> list[CommandStats]:
-        """Run a multi-form program: each top-level form is one command
-        (strips ';' line comments first — a host-side convenience)."""
-        stats: list[CommandStats] = []
-        for form in split_top_level_forms(source):
-            stats.append(self.submit(form))
-        return stats
+        """Run a multi-form program: each top-level form is one command."""
+        return self._protocol.run_program(source)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -108,43 +99,3 @@ class CuLiSession:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-
-def split_top_level_forms(source: str) -> list[str]:
-    """Split a program into balanced top-level forms (host-side utility).
-
-    Handles ';' comments and strings; raises nothing — unbalanced input
-    surfaces later through the device's upload gate.
-    """
-    forms: list[str] = []
-    current: list[str] = []
-    level = 0
-    in_string = False
-    in_comment = False
-    for ch in source:
-        if in_comment:
-            if ch == "\n":
-                in_comment = False
-                ch = " "
-            else:
-                continue
-        if ch == '"':
-            in_string = not in_string
-        elif not in_string:
-            if ch == ";":
-                in_comment = True
-                continue
-            if ch == "(":
-                level += 1
-            elif ch == ")":
-                level -= 1
-        current.append(ch)
-        if level == 0 and current and not in_string:
-            text = "".join(current).strip()
-            if text and parens_balanced(text) and text.endswith(")"):
-                forms.append(text)
-                current = []
-    tail = "".join(current).strip()
-    if tail:
-        forms.append(tail)
-    return forms

@@ -1,0 +1,34 @@
+"""Multi-tenant serving layer: many logical CuLi REPLs on a shared pool
+of simulated devices.
+
+The paper's CuLi is one interactive REPL on one GPU. This package scales
+that execution model out: a :class:`DevicePool` owns N simulated devices
+with per-device queues, a :class:`Scheduler` batches independent
+requests from different tenant sessions into shared ``|||`` distribution
+rounds (one master handshake, one PCIe transaction, tenants evaluated
+concurrently by worker warps), and :class:`ServerStats` reports
+throughput, per-phase latency, queue depth, and device utilization
+through the same :class:`~repro.timing.PhaseBreakdown` machinery the
+single-device benchmarks use.
+
+See ``examples/serve_demo.py`` for a tour and
+``benchmarks/bench_serve_throughput.py`` for the batched-vs-sequential
+comparison.
+"""
+
+from .pool import DevicePool, PooledDevice
+from .scheduler import Scheduler
+from .server import CuLiServer
+from .session import TenantSession, Ticket
+from .stats import DeviceStats, ServerStats
+
+__all__ = [
+    "CuLiServer",
+    "DevicePool",
+    "PooledDevice",
+    "Scheduler",
+    "TenantSession",
+    "Ticket",
+    "DeviceStats",
+    "ServerStats",
+]

@@ -1,0 +1,123 @@
+"""The device pool: N simulated devices behind per-device FIFO queues.
+
+A tenant session is *pinned* to one device at open time (its persistent
+environment lives in that device's node arena, so requests cannot
+migrate), which makes the pool a sharded fleet: placement happens once
+per session, then each device serves its own queue in batches. This is
+the PyCUDA-style host orchestration layer: Python owns device lifetime
+and work routing, the simulated devices own execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..cpu.device import CPUDevice, CPUDeviceConfig
+from ..cpu.specs import CPUSpec
+from ..gpu.device import GPUDevice, GPUDeviceConfig
+from ..gpu.specs import GPUSpec
+from ..runtime.devices import device_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import Ticket, TenantSession
+
+__all__ = ["DevicePool", "PooledDevice"]
+
+DeviceSpec = Union[str, GPUSpec, CPUSpec]
+
+
+class PooledDevice:
+    """One device plus its queue and session bookkeeping."""
+
+    __slots__ = ("device_id", "device", "queue", "session_count")
+
+    def __init__(self, device_id: str, device: Union[GPUDevice, CPUDevice]) -> None:
+        self.device_id = device_id
+        self.device = device
+        self.queue: deque["Ticket"] = deque()
+        self.session_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def kind(self) -> str:
+        return self.device.kind
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def load(self) -> tuple[int, int]:
+        """Placement key: sessions first, then queued work."""
+        return (self.session_count, len(self.queue))
+
+
+class DevicePool:
+    """Owns N configured devices and hands out per-device queues.
+
+    ``devices`` accepts registry names or spec objects; duplicates are
+    fine (e.g. four gtx1080 shards) — each gets a unique ``device_id``
+    of the form ``name#k``.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceSpec] = ("gtx1080",),
+        gpu_config: Optional[GPUDeviceConfig] = None,
+        cpu_config: Optional[CPUDeviceConfig] = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("a device pool needs at least one device")
+        self.devices: dict[str, PooledDevice] = {}
+        for k, spec in enumerate(devices):
+            device = device_for(spec, gpu_config=gpu_config, cpu_config=cpu_config)
+            device_id = f"{device.name}#{k}"
+            self.devices[device_id] = PooledDevice(device_id, device)
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, device_id: str) -> PooledDevice:
+        return self.devices[device_id]
+
+    # -- placement ---------------------------------------------------------------
+
+    def place_session(self) -> PooledDevice:
+        """Least-loaded placement: fewest sessions, then shortest queue."""
+        pdev = min(self.devices.values(), key=lambda d: d.load)
+        pdev.session_count += 1
+        return pdev
+
+    def session_closed(self, device_id: str) -> None:
+        pdev = self.devices[device_id]
+        pdev.session_count = max(0, pdev.session_count - 1)
+
+    # -- queues -------------------------------------------------------------------
+
+    def enqueue(self, device_id: str, ticket: "Ticket") -> None:
+        self.devices[device_id].queue.append(ticket)
+
+    def queue_depths(self) -> dict[str, int]:
+        return {device_id: d.queue_depth for device_id, d in self.devices.items()}
+
+    @property
+    def pending(self) -> int:
+        return sum(d.queue_depth for d in self.devices.values())
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for pdev in self.devices.values():
+            pdev.device.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

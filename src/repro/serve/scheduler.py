@@ -1,0 +1,126 @@
+"""The batching scheduler: per-device queues -> shared distribution rounds.
+
+Batch formation walks a device's FIFO queue and takes at most **one
+request per session** per batch (up to ``max_batch``). That single rule
+provides both guarantees the serving layer needs:
+
+* **ordering** — a session's second command can only run in a *later*
+  batch than its first, so each tenant observes strict REPL order;
+* **fairness** — a tenant that floods the queue gets one slot per batch,
+  the same as everyone else; nobody is starved behind a burst.
+
+Dispatch hands the batch to ``device.submit_batch``, which executes it
+as shared ``|||`` service rounds on the GPU (one handshake, one PCIe
+transaction, tenants evaluated concurrently by worker warps) or as
+pthread waves on the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..runtime.batch import BatchRequest
+from ..timing import CommandStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pool import DevicePool, PooledDevice
+    from .session import Ticket
+    from .stats import ServerStats
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Forms batches from per-device queues and dispatches them."""
+
+    def __init__(self, pool: "DevicePool", max_batch: int = 32) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.pool = pool
+        self.max_batch = max_batch
+
+    # -- batch formation ----------------------------------------------------------
+
+    def form_batch(self, pdev: "PooledDevice") -> list["Ticket"]:
+        """Pop up to ``max_batch`` queued tickets, one per session, FIFO.
+
+        Tickets whose session already has a ticket in this batch stay
+        queued (in order) for a later batch. On devices with a bounded
+        command buffer the combined payload stays within capacity, so one
+        batch's upload never fails on size (a *single* over-capacity
+        command still joins a batch alone and is refused per-request by
+        the device's upload gate)."""
+        batch: list["Ticket"] = []
+        sessions_in_batch: set[str] = set()
+        deferred: list["Ticket"] = []
+        queue = pdev.queue
+        cmdbuf = getattr(pdev.device, "cmdbuf", None)
+        capacity = cmdbuf.capacity if cmdbuf is not None else None
+        payload = 0
+        while queue and len(batch) < self.max_batch:
+            ticket = queue.popleft()
+            sid = ticket.session.session_id
+            if sid in sessions_in_batch:
+                deferred.append(ticket)
+                continue
+            size = len(ticket.text.encode()) + 1  # join separator
+            if capacity is not None and batch and payload + size > capacity:
+                queue.appendleft(ticket)  # full: keep for the next batch
+                break
+            sessions_in_batch.add(sid)
+            payload += size
+            batch.append(ticket)
+        # Deferred tickets go back to the *front*, preserving FIFO order.
+        for ticket in reversed(deferred):
+            queue.appendleft(ticket)
+        return batch
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def dispatch(
+        self, pdev: "PooledDevice", batch: list["Ticket"],
+        stats: Optional["ServerStats"] = None,
+    ) -> None:
+        """Execute one batch on one device and resolve its tickets."""
+        if not batch:
+            return
+        requests = [
+            BatchRequest(
+                text=ticket.text,
+                env=ticket.session.env,
+                tag=ticket.session.session_id,
+            )
+            for ticket in batch
+        ]
+        try:
+            result = pdev.device.submit_batch(requests)
+        except Exception as exc:
+            # Device-level failure: the tickets are already popped, so
+            # resolve them with the error before surfacing it — a lost
+            # ticket would hang its tenant forever.
+            for ticket in batch:
+                ticket.error = exc
+                ticket.stats = CommandStats(output=f"error: {exc}")
+            raise
+        for ticket, item in zip(batch, result.items):
+            ticket.stats = item.stats
+            ticket.error = item.error
+            ticket.session.history.append(item.stats)
+        if stats is not None:
+            stats.record_batch(pdev.device_id, result)
+
+    def drain(self, stats: Optional["ServerStats"] = None) -> int:
+        """Serve every queued request; returns the number of batches run.
+
+        Each pass forms one batch per device (devices run concurrently in
+        simulated time), repeating until all queues are empty — a session
+        with k queued commands therefore takes k batches, in order.
+        """
+        batches = 0
+        while self.pool.pending:
+            for pdev in self.pool.devices.values():
+                batch = self.form_batch(pdev)
+                if batch:
+                    self.dispatch(pdev, batch, stats)
+                    batches += 1
+        return batches

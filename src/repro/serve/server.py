@@ -1,0 +1,136 @@
+"""CuLiServer: the multi-tenant serving facade.
+
+Ties the pieces together: a :class:`~repro.serve.pool.DevicePool` of
+simulated devices, a batching :class:`~repro.serve.scheduler.Scheduler`,
+and a :class:`~repro.serve.stats.ServerStats` surface. Usage::
+
+    from repro.serve import CuLiServer
+
+    with CuLiServer(devices=["gtx1080", "gtx1080"]) as server:
+        alice = server.open_session()
+        bob = server.open_session()
+        alice.submit("(defun f (x) (* x x))")
+        bob.submit("(defun f (x) (+ x 100))")
+        server.flush()                      # one batch, two tenants
+        print(alice.eval("(f 5)"))          # 25 — isolated definitions
+        print(bob.eval("(f 5)"))            # 105
+        print(server.stats.render())
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import count
+from typing import Optional, Sequence
+
+from ..timing import CommandStats
+
+from ..cpu.device import CPUDeviceConfig
+from ..gpu.device import GPUDeviceConfig
+from .pool import DevicePool, DeviceSpec
+from .scheduler import Scheduler
+from .session import TenantSession, Ticket
+from .stats import ServerStats
+
+__all__ = ["CuLiServer"]
+
+
+class CuLiServer:
+    """A pool of simulated devices serving many concurrent REPL tenants."""
+
+    def __init__(
+        self,
+        devices: Sequence[DeviceSpec] = ("gtx1080",),
+        max_batch: int = 32,
+        gpu_config: Optional[GPUDeviceConfig] = None,
+        cpu_config: Optional[CPUDeviceConfig] = None,
+    ) -> None:
+        self.pool = DevicePool(devices, gpu_config=gpu_config, cpu_config=cpu_config)
+        self.scheduler = Scheduler(self.pool, max_batch=max_batch)
+        self.stats = ServerStats()
+        self.stats._queue_depth_fn = self.pool.queue_depths
+        for device_id, pdev in self.pool.devices.items():
+            self.stats.register_device(device_id, pdev.name, pdev.kind)
+        self.sessions: dict[str, TenantSession] = {}
+        self._session_counter = count()
+        self._closed = False
+
+    # -- sessions -----------------------------------------------------------------
+
+    def open_session(self, name: Optional[str] = None) -> TenantSession:
+        """Open a tenant session, pinned to the least-loaded device."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        session_id = name if name is not None else f"tenant-{next(self._session_counter)}"
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        pdev = self.pool.place_session()
+        env = pdev.device.create_session_env(label=session_id)
+        session = TenantSession(self, session_id, pdev.device_id, env)
+        self.sessions[session_id] = session
+        return session
+
+    def close_session(self, session: TenantSession) -> None:
+        """Release a tenant's environment and placement slot.
+
+        Queued-but-unserved tickets are cancelled first (resolved with an
+        error): the environment stops being a GC root on release, so
+        running them later would evaluate against collected bindings.
+        """
+        if self.sessions.pop(session.session_id, None) is None:
+            return
+        pdev = self.pool[session.device_id]
+        remaining = deque()
+        for ticket in pdev.queue:
+            if ticket.session is session:
+                ticket.error = RuntimeError(
+                    f"session {session.session_id} closed before execution"
+                )
+                ticket.stats = CommandStats(output=f"error: {ticket.error}")
+            else:
+                remaining.append(ticket)
+        pdev.queue = remaining
+        pdev.device.release_session_env(session.env)
+        self.pool.session_closed(session.device_id)
+
+    # -- request flow -------------------------------------------------------------
+
+    def submit(self, session: TenantSession, text: str) -> Ticket:
+        """Queue one command on the session's device; returns its ticket."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        ticket = Ticket(session, text)
+        self.pool.enqueue(session.device_id, ticket)
+        self.stats.record_enqueue()
+        return ticket
+
+    def flush(self) -> int:
+        """Serve every queued request in batches; returns batches run."""
+        return self.scheduler.drain(self.stats)
+
+    @property
+    def pending(self) -> int:
+        return self.pool.pending
+
+    def queue_depths(self) -> dict[str, int]:
+        return self.pool.queue_depths()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for session in list(self.sessions.values()):
+            session.close()
+        self.pool.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "CuLiServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

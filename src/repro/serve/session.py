@@ -1,0 +1,139 @@
+"""Tenant sessions: many logical REPLs multiplexed onto a shared pool.
+
+A :class:`TenantSession` looks like a :class:`~repro.runtime.session.CuLiSession`
+— same eval / feed_line / run_program surface, same persistent
+environment across commands — but it does not own a device. Its
+environment lives on the pooled device it was placed on, and its
+commands travel through the server's batching scheduler as
+:class:`Ticket`\\ s.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..core.environment import Environment
+from ..runtime.protocol import HostProtocol
+from ..timing import CommandStats, PhaseBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import CuLiServer
+
+__all__ = ["Ticket", "TenantSession"]
+
+
+class Ticket:
+    """A pending request: filled in when its batch executes."""
+
+    __slots__ = ("session", "text", "stats", "error")
+
+    def __init__(self, session: "TenantSession", text: str) -> None:
+        self.session = session
+        self.text = text
+        self.stats: Optional[CommandStats] = None
+        self.error: Optional[Exception] = None
+
+    @property
+    def done(self) -> bool:
+        return self.stats is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.done and self.error is None
+
+    @property
+    def output(self) -> str:
+        """The command's output (``error: ...`` text for failed requests).
+
+        Raises if the ticket has not been executed yet — call
+        ``server.flush()`` (or use ``session.eval``, which flushes).
+        """
+        if self.stats is None:
+            raise RuntimeError("request not executed yet: call server.flush()")
+        return self.stats.output
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<Ticket {self.session.session_id} {self.text!r} [{state}]>"
+
+
+class TenantSession:
+    """One tenant's persistent REPL on a shared serving pool."""
+
+    def __init__(
+        self,
+        server: "CuLiServer",
+        session_id: str,
+        device_id: str,
+        env: Environment,
+    ) -> None:
+        self.server = server
+        self.session_id = session_id
+        self.device_id = device_id
+        self.env = env
+        self.history: list[CommandStats] = []
+        self._protocol: HostProtocol[Ticket] = HostProtocol(self.submit)
+        self._closed = False
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, text: str) -> Ticket:
+        """Queue one command; returns immediately with a pending ticket.
+
+        Commands from one session always execute in submission order
+        (the scheduler batches at most one request per session per
+        round)."""
+        if self._closed:
+            raise RuntimeError(f"session {self.session_id} is closed")
+        return self.server.submit(self, text)
+
+    def eval(self, source: str) -> str:
+        """Synchronous convenience: submit, flush the server, return output.
+
+        Other tenants' queued requests ride along in the same flush —
+        that is the point of the serving layer."""
+        ticket = self.submit(source)
+        self.server.flush()
+        return ticket.output
+
+    def eval_timed(self, source: str) -> tuple[str, PhaseBreakdown]:
+        ticket = self.submit(source)
+        self.server.flush()
+        assert ticket.stats is not None
+        return ticket.stats.output, ticket.stats.times
+
+    def feed_line(self, line: str) -> Optional[Ticket]:
+        """Interactive-prompt accumulation, exactly like CuLiSession
+        (shared :class:`HostProtocol`); returns a ticket once the
+        parentheses balance."""
+        return self._protocol.feed_line(line)
+
+    @property
+    def pending_input(self) -> str:
+        return self._protocol.pending_input
+
+    def run_program(self, source: str) -> list[Ticket]:
+        """Queue every top-level form of a program, in order."""
+        return self._protocol.run_program(source)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's environment (its bindings become garbage)."""
+        if self._closed:
+            return
+        self.server.close_session(self)
+        self._closed = True
+
+    def __enter__(self) -> "TenantSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<TenantSession {self.session_id} on {self.device_id}>"

@@ -1,0 +1,177 @@
+"""Serving metrics: throughput, latency phases, queue depth, utilization.
+
+All times are *simulated* device milliseconds (the paper's quantities),
+not simulator wall time. Devices in a pool run concurrently, so the
+server's simulated makespan is the busiest device's busy time; per-device
+utilization is measured against that makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..timing import PhaseBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.batch import BatchResult
+
+__all__ = ["DeviceStats", "ServerStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Accumulated serving counters for one pooled device."""
+
+    device_id: str
+    name: str
+    kind: str
+    busy_ms: float = 0.0     #: simulated time spent executing batches
+    batches: int = 0
+    requests: int = 0
+    errors: int = 0
+    jobs: int = 0            #: worker jobs (service + nested ``|||``)
+    rounds: int = 0          #: shared distribution rounds
+
+
+class ServerStats:
+    """The server-wide metrics surface (wired into CommandStats/PhaseBreakdown).
+
+    ``phase_totals`` merges every batch's :class:`PhaseBreakdown`, so the
+    per-phase latency decomposition the paper reports for one command is
+    available for the whole serving run; ``throughput_rps`` is requests
+    per simulated second of makespan.
+    """
+
+    def __init__(self) -> None:
+        self.requests_enqueued = 0
+        self.requests_completed = 0
+        self.errors = 0
+        self.batches = 0
+        self.batch_size_sum = 0
+        self.batch_size_max = 0
+        self.phase_totals = PhaseBreakdown()
+        self.per_device: dict[str, DeviceStats] = {}
+        #: live queue-depth gauge, installed by the server
+        self._queue_depth_fn: Optional[Callable[[], dict[str, int]]] = None
+
+    # -- recording ----------------------------------------------------------------
+
+    def register_device(self, device_id: str, name: str, kind: str) -> None:
+        self.per_device[device_id] = DeviceStats(device_id, name, kind)
+
+    def record_enqueue(self, n: int = 1) -> None:
+        self.requests_enqueued += n
+
+    def record_batch(self, device_id: str, result: "BatchResult") -> None:
+        self.batches += 1
+        self.batch_size_sum += result.size
+        self.batch_size_max = max(self.batch_size_max, result.size)
+        self.requests_completed += result.size
+        n_errors = len(result.errors)
+        self.errors += n_errors
+        self.phase_totals = self.phase_totals.merged_with(result.times)
+        dstats = self.per_device[device_id]
+        dstats.busy_ms += result.times.total_ms
+        dstats.batches += 1
+        dstats.requests += result.size
+        dstats.errors += n_errors
+        dstats.jobs += result.jobs
+        dstats.rounds += result.rounds
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_size_sum / self.batches if self.batches else 0.0
+
+    @property
+    def simulated_makespan_ms(self) -> float:
+        """Devices execute concurrently: the pool is done when the
+        busiest device is done."""
+        if not self.per_device:
+            return 0.0
+        return max(d.busy_ms for d in self.per_device.values())
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        makespan = self.simulated_makespan_ms
+        if makespan <= 0:
+            return 0.0
+        return self.requests_completed / (makespan / 1000.0)
+
+    def utilization(self) -> dict[str, float]:
+        """Per-device busy share of the pool makespan (0..1)."""
+        makespan = self.simulated_makespan_ms
+        if makespan <= 0:
+            return {device_id: 0.0 for device_id in self.per_device}
+        return {
+            device_id: d.busy_ms / makespan for device_id, d in self.per_device.items()
+        }
+
+    def queue_depths(self) -> dict[str, int]:
+        """Live per-device queue depth (pending, not yet batched)."""
+        if self._queue_depth_fn is None:
+            return {}
+        return self._queue_depth_fn()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary for logging/reporting."""
+        return {
+            "requests": {
+                "enqueued": self.requests_enqueued,
+                "completed": self.requests_completed,
+                "errors": self.errors,
+            },
+            "batches": {
+                "count": self.batches,
+                "mean_size": self.mean_batch_size,
+                "max_size": self.batch_size_max,
+            },
+            "throughput_rps": self.throughput_rps,
+            "makespan_ms": self.simulated_makespan_ms,
+            "phases_ms": {
+                "parse": self.phase_totals.parse_ms,
+                "eval": self.phase_totals.eval_ms,
+                "print": self.phase_totals.print_ms,
+                "transfer": self.phase_totals.transfer_ms,
+                "overhead": self.phase_totals.other_ms + self.phase_totals.host_ms,
+            },
+            "devices": {
+                device_id: {
+                    "name": d.name,
+                    "kind": d.kind,
+                    "busy_ms": d.busy_ms,
+                    "batches": d.batches,
+                    "requests": d.requests,
+                    "jobs": d.jobs,
+                    "rounds": d.rounds,
+                    "utilization": self.utilization()[device_id],
+                }
+                for device_id, d in self.per_device.items()
+            },
+            "queue_depths": self.queue_depths(),
+        }
+
+    def render(self) -> str:
+        """A human-readable one-screen summary."""
+        snap = self.snapshot()
+        lines = [
+            f"requests: {snap['requests']['completed']}/{snap['requests']['enqueued']}"
+            f" completed, {snap['requests']['errors']} errors",
+            f"batches:  {snap['batches']['count']}"
+            f" (mean {snap['batches']['mean_size']:.1f},"
+            f" max {snap['batches']['max_size']})",
+            f"throughput: {snap['throughput_rps']:.1f} req/s simulated"
+            f" over {snap['makespan_ms']:.3f} ms makespan",
+        ]
+        for device_id, d in snap["devices"].items():
+            lines.append(
+                f"  {device_id} [{d['name']}/{d['kind']}]: {d['requests']} reqs in "
+                f"{d['batches']} batches, busy {d['busy_ms']:.3f} ms, "
+                f"util {d['utilization'] * 100:.0f}%"
+            )
+        return "\n".join(lines)

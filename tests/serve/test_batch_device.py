@@ -1,0 +1,209 @@
+"""Device-level batched submission: correctness and cost amortization."""
+
+import pytest
+
+from repro.cpu.device import CPUDevice
+from repro.cpu.specs import INTEL_E5_2620
+from repro.errors import DeviceShutdownError, LivelockError
+from repro.gpu.device import GPUDevice, GPUDeviceConfig
+from repro.gpu.specs import GTX1080
+from repro.runtime.batch import BatchRequest
+
+FORMS = ["(+ 1 2)", "(* 6 7)", "(append '(a) '(b c))", "(if (< 1 2) 'yes 'no)"]
+EXPECTED = ["3", "42", "(a b c)", "yes"]
+
+
+@pytest.fixture
+def gpu():
+    device = GPUDevice(GTX1080)
+    yield device
+    device.close()
+
+
+@pytest.fixture
+def cpu():
+    device = CPUDevice(INTEL_E5_2620)
+    yield device
+    device.close()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("make", ["gpu", "cpu"])
+    def test_batch_outputs_match_sequential(self, make, gpu, cpu):
+        device = gpu if make == "gpu" else cpu
+        result = device.submit_batch([BatchRequest(f) for f in FORMS])
+        assert result.outputs == EXPECTED
+        assert result.size == len(FORMS)
+        assert not result.errors
+
+    def test_empty_batch(self, gpu):
+        result = gpu.submit_batch([])
+        assert result.size == 0 and result.times.total_ms == 0.0
+
+    def test_closed_device_rejects_batch(self, gpu):
+        gpu.close()
+        with pytest.raises(DeviceShutdownError):
+            gpu.submit_batch([BatchRequest("1")])
+
+    def test_default_env_is_global(self, gpu):
+        gpu.submit_batch([BatchRequest("(setq shared 9)")])
+        assert gpu.submit("shared").output == "9"
+
+    def test_nested_parallel_degrades_inside_batch(self, gpu):
+        """A ||| inside a served request falls back to sequential eval
+        (single master), but still produces correct results."""
+        env = gpu.create_session_env()
+        gpu.submit_batch([BatchRequest("(defun sq (x) (* x x))", env=env)])
+        result = gpu.submit_batch([BatchRequest("(||| 4 sq (1 2 3 4))", env=env)])
+        assert result.outputs == ["(1 4 9 16)"]
+        assert gpu.engine.nested_fallbacks >= 1
+
+
+class TestAmortization:
+    def test_batch_cheaper_than_sequential_commands(self, gpu):
+        """One batch of k commands beats k single submissions: the
+        handshake and PCIe latency are paid once, and tenants evaluate
+        concurrently on worker warps."""
+        envs = [gpu.create_session_env(f"t{i}") for i in range(8)]
+        work = "(defun loop-sum (n acc) (if (< n 1) acc (loop-sum (- n 1) (+ acc n))))"
+        for env in envs:
+            gpu.submit_batch([BatchRequest(work, env=env)])
+        command = "(loop-sum 40 0)"
+        sequential_ms = sum(
+            gpu.submit(command, env=env).times.total_ms for env in envs
+        )
+        batched = gpu.submit_batch([BatchRequest(command, env=env) for env in envs])
+        assert batched.outputs == ["820"] * 8
+        assert batched.times.total_ms < sequential_ms
+
+    def test_one_handshake_per_batch(self, gpu):
+        single = gpu.submit("(+ 1 1)")
+        batch = gpu.submit_batch([BatchRequest("(+ 1 1)") for _ in range(6)])
+        # other_ms is the per-command handshake: charged once per batch.
+        assert batch.times.other_ms == pytest.approx(single.times.other_ms)
+
+    def test_shared_rounds_amortize_distribution(self, gpu):
+        batch = gpu.submit_batch([BatchRequest("(* 3 3)") for _ in range(6)])
+        assert batch.rounds == 1  # six tenants, one distribution round
+        assert batch.jobs == 6
+
+    def test_worker_wall_below_lane_sum(self, gpu):
+        """Tenants placed one per warp run concurrently: round wall time
+        is far below the sum of per-request eval times."""
+        batch = gpu.submit_batch(
+            [BatchRequest(f"(* {i} {i})") for i in range(1, 9)]
+        )
+        lane_sum = sum(item.stats.times.worker_ms for item in batch.items)
+        assert batch.times.worker_ms < lane_sum
+        assert batch.times.worker_ms > 0
+
+    def test_cpu_batch_waves(self, cpu):
+        n = cpu.spec.hw_threads + 1  # force a second wave
+        batch = cpu.submit_batch([BatchRequest("(+ 1 1)") for _ in range(n)])
+        assert batch.outputs == ["2"] * n
+        assert batch.rounds >= 2
+        assert batch.times.other_ms == pytest.approx(
+            cpu.spec.command_overhead_us / 1000.0
+        )
+
+    def test_per_item_stats_additive_shares(self, gpu):
+        batch = gpu.submit_batch([BatchRequest("(+ 2 2)") for _ in range(4)])
+        shared = sum(item.stats.times.other_ms for item in batch.items)
+        assert shared == pytest.approx(batch.times.other_ms)
+        transfer = sum(item.stats.times.transfer_ms for item in batch.items)
+        assert transfer == pytest.approx(batch.times.transfer_ms)
+
+
+class TestDeviceLevelInvariants:
+    def test_combined_payload_split_into_transactions(self, gpu):
+        """Two individually-valid 40 KiB commands exceed the 64 KiB
+        buffer together: the device splits them into two transactions
+        instead of failing the batch."""
+        big = "(+ " + " ".join(["1"] * 20000) + ")"  # ~40 KiB each
+        result = gpu.submit_batch([BatchRequest(big), BatchRequest(big)])
+        assert result.outputs == ["20000", "20000"]
+        single = gpu.submit("(+ 1 1)")
+        # Two buffer transactions => two handshakes.
+        assert result.times.other_ms == pytest.approx(2 * single.times.other_ms)
+
+    def test_master_block_ablation_livelocks_service_round(self):
+        """Fig. 12 applies to service rounds exactly as to ||| rounds."""
+        device = GPUDevice(
+            GTX1080, config=GPUDeviceConfig(disable_master_block_workers=False)
+        )
+        with pytest.raises(LivelockError):
+            device.submit_batch([BatchRequest("(+ 1 1)")])
+        device.close()
+
+    def test_volta_without_sync_flag_skips_flag_charges(self):
+        """On Volta (independent thread scheduling) a disabled sync flag
+        is safe, and its ATOMIC_RMW traffic must not be charged."""
+        from repro.gpu.specs import TESLA_V100
+
+        with_flag = GPUDevice(TESLA_V100)
+        without_flag = GPUDevice(
+            TESLA_V100, config=GPUDeviceConfig(enable_block_sync_flag=False)
+        )
+        r_on = with_flag.submit_batch([BatchRequest("(* 2 2)")] * 3)
+        r_off = without_flag.submit_batch([BatchRequest("(* 2 2)")] * 3)
+        assert r_off.outputs == r_on.outputs == ["4"] * 3
+        assert r_off.times.distribute_ms < r_on.times.distribute_ms
+        with_flag.close()
+        without_flag.close()
+
+    def test_worker_print_output_is_charged(self, gpu):
+        """princ inside a served request charges the worker context, as
+        in single-command mode: eval cost grows with printed length."""
+        short = gpu.submit_batch([BatchRequest('(princ "ab")')])
+        long = gpu.submit_batch([BatchRequest('(princ "' + "x" * 400 + '")')])
+        assert long.items[0].stats.times.eval_ms > short.items[0].stats.times.eval_ms
+
+
+class TestFailureModes:
+    def test_sync_flag_ablation_livelocks_service_round(self):
+        device = GPUDevice(
+            GTX1080, config=GPUDeviceConfig(enable_block_sync_flag=False)
+        )
+        with pytest.raises(LivelockError):
+            device.submit_batch([BatchRequest("(+ 1 1)"), BatchRequest("(+ 2 2)")])
+        device.close()
+
+    def test_cpu_device_error_still_collects_garbage(self):
+        """Device-level failure mid-batch runs the end-of-batch
+        collection (the arena does not leak the batch's partial trees)."""
+        from repro.core.interpreter import InterpreterOptions
+        from repro.cpu.device import CPUDeviceConfig
+        from repro.errors import ArenaExhaustedError
+
+        device = CPUDevice(
+            INTEL_E5_2620,
+            config=CPUDeviceConfig(
+                interpreter=InterpreterOptions(arena_capacity=600)
+            ),
+        )
+        used_before = device.interp.arena.stats.allocs - device.interp.arena.stats.frees
+        with pytest.raises(ArenaExhaustedError):
+            device.submit_batch(
+                [BatchRequest("(+ 1 1)"), BatchRequest("(list " + "1 " * 400 + ")")]
+            )
+        used_after = device.interp.arena.stats.allocs - device.interp.arena.stats.frees
+        assert used_after <= used_before + 5  # partial trees were reclaimed
+        assert device.submit("(+ 2 2)").output == "4"  # still healthy
+        device.close()
+
+    def test_batch_survives_mixed_errors(self, gpu):
+        result = gpu.submit_batch(
+            [
+                BatchRequest("(+ 1 2)"),
+                BatchRequest("(car 5)"),
+                BatchRequest("(unclosed"),
+                BatchRequest("(* 2 2)"),
+            ]
+        )
+        assert result.outputs[0] == "3"
+        assert result.outputs[1].startswith("error:")
+        assert result.outputs[2].startswith("error:")
+        assert result.outputs[3] == "4"
+        assert len(result.errors) == 2
+        # The device is still healthy afterwards.
+        assert gpu.submit("(+ 40 2)").output == "42"

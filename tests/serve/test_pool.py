@@ -1,0 +1,62 @@
+"""DevicePool: placement, queues, lifecycle."""
+
+import pytest
+
+from repro.serve.pool import DevicePool
+
+
+class TestConstruction:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePool([])
+
+    def test_duplicate_devices_get_unique_ids(self):
+        pool = DevicePool(["gtx1080", "gtx1080", "gtx1080"])
+        assert len(pool) == 3
+        assert sorted(pool.devices) == ["gtx1080#0", "gtx1080#1", "gtx1080#2"]
+        pool.close()
+
+    def test_mixed_kinds(self):
+        pool = DevicePool(["gtx480", "intel"])
+        kinds = {d.kind for d in pool.devices.values()}
+        assert kinds == {"gpu", "cpu"}
+        pool.close()
+
+
+class TestPlacement:
+    def test_least_loaded_round_robin(self):
+        pool = DevicePool(["gtx480", "gtx480"])
+        placements = [pool.place_session().device_id for _ in range(4)]
+        assert placements.count("gtx480#0") == 2
+        assert placements.count("gtx480#1") == 2
+        pool.close()
+
+    def test_session_close_frees_slot(self):
+        pool = DevicePool(["gtx480", "gtx480"])
+        first = pool.place_session()
+        pool.place_session()
+        pool.session_closed(first.device_id)
+        # The freed device is now least loaded again.
+        assert pool.place_session().device_id == first.device_id
+        pool.close()
+
+
+class TestQueues:
+    def test_enqueue_and_depths(self):
+        pool = DevicePool(["gtx480"])
+        assert pool.pending == 0
+        pool.enqueue("gtx480#0", object())
+        pool.enqueue("gtx480#0", object())
+        assert pool.queue_depths() == {"gtx480#0": 2}
+        assert pool.pending == 2
+        pool.close()
+
+
+class TestLifecycle:
+    def test_close_closes_devices(self):
+        pool = DevicePool(["gtx480"])
+        device = pool["gtx480#0"].device
+        pool.close()
+        assert pool.closed
+        assert device.closed
+        pool.close()  # idempotent
