@@ -1,0 +1,92 @@
+"""Host-side simulator overhead: interpreter ops/sec through the
+charging hot path.
+
+The simulator pays a Python-level cost for every modeled op
+(``ExecContext.charge``). This micro-benchmark records how many abstract
+machine ops the interpreter pushes through per host second — the number
+that bounds every figure sweep and serving benchmark — plus the cost of
+merging op-count vectors (numpy-ized in PR 2).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_host_overhead.py -q --json-out
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.context import CountingContext
+from repro.core.interpreter import Interpreter, InterpreterOptions
+from repro.ops import OpCounts
+
+from conftest import record_point
+
+WORKLOAD = [
+    "(defun loop-sum (n acc) (if (< n 1) acc (loop-sum (- n 1) (+ acc n))))",
+    "(loop-sum 200 0)",
+    "(loop-sum 150 0)",
+    "(* 3 (loop-sum 100 0))",
+]
+
+
+def run_workload(options: InterpreterOptions) -> tuple[float, float]:
+    """Run the workload on a bare interpreter; returns (ops, host seconds)."""
+    interp = Interpreter(options=options)
+    ctx = CountingContext(max_depth=4096)
+    t0 = time.perf_counter()
+    for command in WORKLOAD:
+        interp.process(command, ctx)
+    elapsed = time.perf_counter() - t0
+    return ctx.counts.total_count(), elapsed
+
+
+def test_interpreter_ops_per_sec(benchmark):
+    """The headline number: modeled ops charged per host second."""
+    ops, elapsed = benchmark.pedantic(
+        lambda: run_workload(InterpreterOptions()), rounds=3, iterations=1
+    )
+    record_point(
+        benchmark,
+        mode="literal",
+        total_ops=ops,
+        host_seconds=elapsed,
+        ops_per_sec=ops / elapsed,
+    )
+    assert ops > 0
+
+
+def test_interpreter_ops_per_sec_fast(benchmark):
+    """Fast mode charges fewer, cheaper ops — and the host finishes the
+    same workload sooner (less strcmp walking per lookup)."""
+    ops, elapsed = benchmark.pedantic(
+        lambda: run_workload(InterpreterOptions.fast()), rounds=3, iterations=1
+    )
+    record_point(
+        benchmark,
+        mode="fast",
+        total_ops=ops,
+        host_seconds=elapsed,
+        ops_per_sec=ops / elapsed,
+    )
+    assert ops > 0
+
+
+def test_opcounts_merge_throughput(benchmark):
+    """Bulk OpCounts.merge (numpy path): merges per host second."""
+    base = OpCounts()
+    other = OpCounts()
+    for row in other.rows:
+        for i in range(len(row)):
+            row[i] = float(i)
+    N = 2000
+
+    def merge_many():
+        t0 = time.perf_counter()
+        for _ in range(N):
+            base.merge(other)
+        return time.perf_counter() - t0
+
+    elapsed = benchmark.pedantic(merge_many, rounds=3, iterations=1)
+    record_point(benchmark, merges=N, merges_per_sec=N / elapsed)
+    assert base.total_count() > 0

@@ -4,13 +4,42 @@ The full paper sweep (8 devices x 13 thread counts) is computed once per
 session and shared across the figure benchmarks; individual benchmarks
 measure the *simulator's* wall time while recording the *simulated*
 device times in ``extra_info`` (those are the paper's numbers).
+
+Machine-readable results: run with ``--json-out [DIR]`` and every point
+recorded via :func:`record_point` is also written to
+``BENCH_<module>.json`` (one file per benchmark module, gitignored) —
+the perf-trajectory artifact CI uploads on every run.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from collections import defaultdict
+
 import pytest
 
 from repro.bench.harness import run_base_latencies, run_sweep
+
+#: module name -> recorded points, written out at session end.
+_RECORDS: dict = defaultdict(list)
+_JSON_DIR = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<module>.json result files into DIR (default: cwd)",
+    )
+
+
+def pytest_configure(config):
+    global _JSON_DIR
+    _JSON_DIR = config.getoption("--json-out", default=None)
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +53,24 @@ def paper_sweep():
 
 
 def record_point(benchmark, **info) -> None:
-    """Attach simulated measurements to the benchmark record."""
+    """Attach simulated measurements to the benchmark record (and to the
+    ``--json-out`` artifact, when enabled)."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+    name = getattr(benchmark, "fullname", None) or getattr(benchmark, "name", "?")
+    module = name.split("::", 1)[0]
+    module = os.path.splitext(os.path.basename(module))[0]
+    if module.startswith("bench_"):
+        module = module[len("bench_"):]
+    _RECORDS[module].append({"test": name, **info})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _JSON_DIR is None or not _RECORDS:
+        return
+    os.makedirs(_JSON_DIR, exist_ok=True)
+    for module, points in _RECORDS.items():
+        path = os.path.join(_JSON_DIR, f"BENCH_{module}.json")
+        with open(path, "w") as fh:
+            json.dump({"module": module, "points": points}, fh, indent=2, default=str)
+        print(f"\n[bench] wrote {path} ({len(points)} point(s))")

@@ -13,6 +13,7 @@ from .environment import Environment
 from .interpreter import Interpreter, InterpreterOptions
 from .reader import Parser
 from .printer import Printer
+from .symtab import SymbolTable
 
 __all__ = [
     "Node",
@@ -23,4 +24,5 @@ __all__ = [
     "InterpreterOptions",
     "Parser",
     "Printer",
+    "SymbolTable",
 ]

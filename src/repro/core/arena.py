@@ -58,6 +58,9 @@ class NodeArena:
         #: while workers run in atomic-cursor (ablation) mode.
         self.contention_width = 1
         self.cursor = AtomicCounter()
+        #: Optional intern table (fast-path ablation): when set by the
+        #: interpreter, new_symbol assigns interned ids at parse time.
+        self.symtab = None
         self._free: list[Node] = []
         self._allocated: set[Node] = set()
         self._used = 0
@@ -104,6 +107,7 @@ class NodeArena:
         node.ival = 0
         node.fval = 0.0
         node.sval = ""
+        node.sym_id = -1
         node.fn = None
         node.first = None
         node.last = None
@@ -170,7 +174,10 @@ class NodeArena:
     def new_symbol(self, name: str, ctx: ExecContext) -> Node:
         node = self.alloc(NodeType.N_SYMBOL, ctx)
         ctx.charge(Op.NODE_WRITE)
-        return node.set_str(name).seal()
+        node.set_str(name)
+        if self.symtab is not None:
+            node.sym_id = self.symtab.intern(name, ctx)
+        return node.seal()
 
     def new_bool(self, value: bool, ctx: ExecContext) -> Node:
         return self.new_true(ctx) if value else self.new_nil(ctx)

@@ -113,8 +113,8 @@ def _dotimes(interp, env, ctx, args, depth) -> Node:
     ctx.charge(Op.NODE_ALLOC)
     for i in range(max(0, count)):
         ctx.charge(Op.BRANCH)
-        local.head = None  # rebind the loop variable each iteration
-        local.define(var, interp.arena.new_int(i, ctx), ctx)
+        local.clear()  # rebind the loop variable each iteration
+        local.define(var, interp.arena.new_int(i, ctx), ctx, sym_id=parts[0].sym_id)
         for body in args[1:]:
             interp.eval_node(body, local, ctx, depth)
     return interp.nil

@@ -62,7 +62,7 @@ def _defun(interp, env, ctx, args, depth) -> Node:
     params = args[1]
     _check_params(params, "defun", ctx)
     form = _make_form(interp, ctx, name_node.sval, params, args[2:], NodeType.N_FORM)
-    env.persistent_root().define(name_node.sval, form, ctx)
+    env.persistent_root().define(name_node.sval, form, ctx, sym_id=name_node.sym_id)
     return interp.arena.new_symbol(name_node.sval, ctx)
 
 
@@ -79,7 +79,7 @@ def _defmacro(interp, env, ctx, args, depth) -> Node:
     params = args[1]
     _check_params(params, "defmacro", ctx)
     macro = _make_form(interp, ctx, name_node.sval, params, args[2:], NodeType.N_MACRO)
-    env.persistent_root().define(name_node.sval, macro, ctx)
+    env.persistent_root().define(name_node.sval, macro, ctx, sym_id=name_node.sym_id)
     return interp.arena.new_symbol(name_node.sval, ctx)
 
 
@@ -93,7 +93,7 @@ def _let_common(interp, env, ctx, args, depth, sequential: bool) -> Node:
     if not bindings.is_nil:
         for binding in list_items(bindings, ctx, "let"):
             if binding.ntype == NodeType.N_SYMBOL:
-                local.define(binding.sval, interp.nil, ctx)
+                local.define(binding.sval, interp.nil, ctx, sym_id=binding.sym_id)
                 continue
             parts = list_items(binding, ctx, "let")
             if not parts or parts[0].ntype != NodeType.N_SYMBOL:
@@ -103,7 +103,7 @@ def _let_common(interp, env, ctx, args, depth, sequential: bool) -> Node:
                 if len(parts) > 1
                 else interp.nil
             )
-            local.define(parts[0].sval, value, ctx)
+            local.define(parts[0].sval, value, ctx, sym_id=parts[0].sym_id)
     result = interp.nil
     for body in args[1:]:
         result = interp.eval_node(body, local, ctx, depth)
@@ -127,14 +127,14 @@ def _setq(interp, env, ctx, args, depth) -> Node:
         if sym.ntype != NodeType.N_SYMBOL:
             raise TypeMismatchError("setq: target must be a symbol")
         result = interp.eval_node(args[i + 1], env, ctx, depth)
-        env.set_nearest(sym.sval, result, ctx)
+        env.set_nearest(sym.sval, result, ctx, sym_id=sym.sym_id)
     return result
 
 
 def _resolve_callable(interp, env, ctx, node: Node, depth: int, who: str) -> Node:
     fn = interp.eval_node(node, env, ctx, depth)
     if fn.ntype == NodeType.N_SYMBOL:
-        looked = env.lookup(fn.sval, ctx)
+        looked = env.lookup(fn.sval, ctx, fn.sym_id)
         if looked is not None:
             fn = looked
     if not fn.is_callable:
@@ -167,7 +167,7 @@ def _macroexpand_1(interp, env, ctx, args, depth) -> Node:
     head = form.first
     if head.ntype != NodeType.N_SYMBOL:
         return form
-    macro = env.lookup(head.sval, ctx)
+    macro = env.lookup(head.sval, ctx, head.sym_id)
     if macro is None or macro.ntype != NodeType.N_MACRO:
         return form
     call_args = []

@@ -20,7 +20,7 @@ __all__ = ["register"]
 def _resolve_fn(interp, env, ctx, node: Node, depth: int, who: str) -> Node:
     fn = interp.eval_node(node, env, ctx, depth)
     if fn.ntype == NodeType.N_SYMBOL:
-        looked = env.lookup(fn.sval, ctx)
+        looked = env.lookup(fn.sval, ctx, fn.sym_id)
         if looked is not None:
             fn = looked
     if not fn.is_callable or fn.ntype == NodeType.N_MACRO:

@@ -38,7 +38,7 @@ def _parallel(interp, env, ctx, args, depth) -> Node:
     # -- the function ------------------------------------------------------
     fn = interp.eval_node(args[1], env, ctx, depth)
     if fn.ntype == NodeType.N_SYMBOL:
-        looked = env.lookup(fn.sval, ctx)
+        looked = env.lookup(fn.sval, ctx, fn.sym_id)
         if looked is not None:
             fn = looked
     if not fn.is_callable:

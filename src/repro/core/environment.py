@@ -11,6 +11,20 @@ the *first* occurrence shadows outer ones. ``define`` (used by ``let``,
 ``defun``, parameter binding) prepends locally; ``set_nearest`` (used by
 ``setq``) mutates the closest existing binding, the paper's one
 deliberate side-effect.
+
+Fast-path ablation (beyond the paper, see DESIGN.md deviations):
+
+* Entries may carry an interned symbol id (``sym_id``, from
+  :mod:`repro.core.symtab`). When both an entry and the query carry an
+  id the comparison is one ``SYM_CMP`` register compare instead of the
+  strcmp chain. Literal mode never assigns ids, so every comparison
+  takes the strcmp path — the paper's behaviour, bit for bit.
+* Root scopes that grow monotonically (the global environment and the
+  per-tenant session roots under defun-heavy multi-tenant load) may
+  carry a hash index over their bindings (:meth:`enable_index`); a
+  lookup there is one ``HASH_PROBE`` instead of an O(n) entry walk.
+  Inner let/call scopes stay linked lists — they are short-lived and
+  tiny, exactly like the paper's.
 """
 
 from __future__ import annotations
@@ -28,10 +42,17 @@ __all__ = ["EnvEntry", "Environment"]
 class EnvEntry:
     """One (symbol -> node) binding in an environment's linked list."""
 
-    __slots__ = ("symbol", "node", "nxt")
+    __slots__ = ("symbol", "sym_id", "node", "nxt")
 
-    def __init__(self, symbol: str, node: Node, nxt: Optional["EnvEntry"]) -> None:
+    def __init__(
+        self,
+        symbol: str,
+        node: Node,
+        nxt: Optional["EnvEntry"],
+        sym_id: int = -1,
+    ) -> None:
         self.symbol = symbol
+        self.sym_id = sym_id
         self.node = node
         self.nxt = nxt
 
@@ -39,7 +60,7 @@ class EnvEntry:
 class Environment:
     """A linked-list scope with a parent pointer."""
 
-    __slots__ = ("head", "parent", "label", "session_root")
+    __slots__ = ("head", "parent", "label", "session_root", "_index", "_count")
 
     def __init__(self, parent: Optional["Environment"] = None, label: str = "") -> None:
         self.head: Optional[EnvEntry] = None
@@ -51,12 +72,32 @@ class Environment:
         #: symbol) stop here instead, so tenants sharing one device cannot
         #: see each other's definitions.
         self.session_root = False
+        #: Hash index over bindings (root scopes only; see module docs).
+        self._index: Optional[dict] = None
+        self._count = 0
 
     # -- structure ------------------------------------------------------------
 
     @property
     def is_global(self) -> bool:
         return self.parent is None
+
+    @property
+    def indexed(self) -> bool:
+        return self._index is not None
+
+    def enable_index(self) -> "Environment":
+        """Attach a hash index over this scope's bindings (idempotent).
+
+        Meant for root scopes that grow monotonically; any bindings
+        already present are indexed (newest-first shadowing preserved).
+        """
+        if self._index is None:
+            index: dict = {}
+            for entry in reversed(list(self.entries())):
+                index[entry.symbol] = entry
+            self._index = index
+        return self
 
     def global_env(self) -> "Environment":
         env: Environment = self
@@ -87,48 +128,90 @@ class Environment:
             entry = entry.nxt
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.entries())
+        # Maintained on define/clear so stats and tests stay O(1) even on
+        # large session roots.
+        return self._count
+
+    def clear(self) -> None:
+        """Drop every binding in this scope (loop scopes rebind per
+        iteration; going through here keeps the count and index honest)."""
+        self.head = None
+        self._count = 0
+        if self._index is not None:
+            self._index.clear()
 
     # -- operations -------------------------------------------------------------
 
-    def define(self, symbol: str, node: Node, ctx: ExecContext) -> None:
+    def define(
+        self, symbol: str, node: Node, ctx: ExecContext, sym_id: int = -1
+    ) -> None:
         """Prepend a binding in *this* environment (shadows outer ones).
 
         Environment nodes are structs in device memory: allocating and
-        wiring one costs an allocation plus two field writes.
+        wiring one costs an allocation plus two field writes. An indexed
+        scope additionally pays one hash probe for the insert.
         """
         ctx.charge(Op.NODE_ALLOC)
         ctx.charge(Op.NODE_WRITE, 2)
-        self.head = EnvEntry(symbol, node, self.head)
+        entry = EnvEntry(symbol, node, self.head, sym_id)
+        self.head = entry
+        self._count += 1
+        index = self._index
+        if index is not None:
+            ctx.charge(Op.HASH_PROBE)
+            # dict insert overwrites: the newest define shadows, exactly
+            # like the prepended list entry it mirrors.
+            index[symbol] = entry
 
-    def lookup(self, symbol: str, ctx: ExecContext) -> Optional[Node]:
-        """First matching binding along the environment chain, else None.
-
-        Every visited entry costs one ``ENV_STEP`` (pointer chase) plus a
-        strcmp against the stored symbol.
-        """
-        env: Optional[Environment] = self
-        while env is not None:
-            entry = env.head
-            while entry is not None:
-                ctx.charge(Op.ENV_STEP)
-                if str_cmp(entry.symbol, symbol, ctx) == 0:
-                    return entry.node
-                entry = entry.nxt
-            env = env.parent
-        return None
-
-    def lookup_local(self, symbol: str, ctx: ExecContext) -> Optional[Node]:
-        """Match in this environment only (no parent walk)."""
+    def _find_here(
+        self, symbol: str, ctx: ExecContext, sym_id: int = -1
+    ) -> Optional[EnvEntry]:
+        """Match in this scope only; one hash probe if indexed, else the
+        entry walk (id compare when both sides are interned, strcmp
+        otherwise — the paper's literal path)."""
+        index = self._index
+        if index is not None:
+            ctx.charge(Op.HASH_PROBE)
+            return index.get(symbol)
         entry = self.head
         while entry is not None:
             ctx.charge(Op.ENV_STEP)
-            if str_cmp(entry.symbol, symbol, ctx) == 0:
-                return entry.node
+            eid = entry.sym_id
+            if sym_id >= 0 and eid >= 0:
+                ctx.charge(Op.SYM_CMP)
+                if eid == sym_id:
+                    return entry
+            elif str_cmp(entry.symbol, symbol, ctx) == 0:
+                return entry
             entry = entry.nxt
         return None
 
-    def set_nearest(self, symbol: str, node: Node, ctx: ExecContext) -> bool:
+    def lookup(
+        self, symbol: str, ctx: ExecContext, sym_id: int = -1
+    ) -> Optional[Node]:
+        """First matching binding along the environment chain, else None.
+
+        Every visited entry costs one ``ENV_STEP`` (pointer chase) plus a
+        symbol comparison (strcmp, or one ``SYM_CMP`` when interned).
+        """
+        env: Optional[Environment] = self
+        while env is not None:
+            entry = env._find_here(symbol, ctx, sym_id)
+            if entry is not None:
+                return entry.node
+            env = env.parent
+        return None
+
+    def lookup_local(
+        self, symbol: str, ctx: ExecContext, sym_id: int = -1
+    ) -> Optional[Node]:
+        """Match in this environment only (no parent walk)."""
+        entry = self._find_here(symbol, ctx, sym_id)
+        return entry.node if entry is not None else None
+
+    def set_nearest(
+        self, symbol: str, node: Node, ctx: ExecContext, sym_id: int = -1
+    ) -> bool:
         """setq: update the nearest existing binding.
 
         Returns True if an existing binding was updated. If no binding
@@ -144,21 +227,18 @@ class Environment:
         env: Optional[Environment] = self
         above_session_root = False
         while env is not None:
-            entry = env.head
-            while entry is not None:
-                ctx.charge(Op.ENV_STEP)
-                if str_cmp(entry.symbol, symbol, ctx) == 0:
-                    if above_session_root:
-                        self.persistent_root().define(symbol, node, ctx)
-                        return False
-                    ctx.charge(Op.NODE_WRITE)
-                    entry.node = node
-                    return True
-                entry = entry.nxt
+            entry = env._find_here(symbol, ctx, sym_id)
+            if entry is not None:
+                if above_session_root:
+                    self.persistent_root().define(symbol, node, ctx, sym_id=sym_id)
+                    return False
+                ctx.charge(Op.NODE_WRITE)
+                entry.node = node
+                return True
             if env.session_root:
                 above_session_root = True
             env = env.parent
-        self.persistent_root().define(symbol, node, ctx)
+        self.persistent_root().define(symbol, node, ctx, sym_id=sym_id)
         return False
 
     def child(self, label: str = "") -> "Environment":

@@ -56,7 +56,7 @@ class Evaluator:
         ntype = node.ntype
 
         if ntype == NodeType.N_SYMBOL:
-            found = env.lookup(node.sval, ctx)
+            found = env.lookup(node.sval, ctx, node.sym_id)
             if found is None:
                 return node  # late binding: unmatched symbols stay
             return found
@@ -162,7 +162,7 @@ class Evaluator:
         ctx.charge(Op.NODE_ALLOC)  # the environment struct itself
         for param, arg in zip(params, args):
             value = self.eval(arg, env, ctx, depth + 1)
-            local.define(param.sval, value, ctx)
+            local.define(param.sval, value, ctx, sym_id=param.sym_id)
         return self._eval_body(form, local, ctx, depth)
 
     def apply_form_prevaluated(
@@ -184,7 +184,7 @@ class Evaluator:
         local = Environment(parent=env, label=form.sval or "lambda")
         ctx.charge(Op.NODE_ALLOC)
         for param, value in zip(params, values):
-            local.define(param.sval, value, ctx)
+            local.define(param.sval, value, ctx, sym_id=param.sym_id)
         return self._eval_body(form, local, ctx, depth)
 
     def _eval_body(
@@ -223,5 +223,5 @@ class Evaluator:
         local = Environment(parent=env, label=f"macro:{macro.sval}")
         ctx.charge(Op.NODE_ALLOC)
         for param, arg in zip(params, args):
-            local.define(param.sval, arg, ctx)
+            local.define(param.sval, arg, ctx, sym_id=param.sym_id)
         return self._eval_body(macro, local, ctx, depth)

@@ -24,6 +24,10 @@ from .evaluator import Evaluator
 from .nodes import Node, NodeType
 from .printer import Printer
 from .reader import Parser
+from .symtab import SymbolTable
+
+if False:  # pragma: no cover - typing-only import (avoid a runtime cycle)
+    from ..runtime.parse_cache import ParseCache
 
 __all__ = ["Interpreter", "InterpreterOptions", "sequential_engine"]
 
@@ -50,13 +54,31 @@ def sequential_engine(interp: "Interpreter", fn: Node, rows: list[list[Node]],
 
 @dataclass
 class InterpreterOptions:
-    """Tunables; defaults follow the paper where it specifies behaviour."""
+    """Tunables; defaults follow the paper where it specifies behaviour.
+
+    The three fast-path flags (all off by default — the literal paper
+    behaviour) form the interning/indexing/parse-cache ablation described
+    in DESIGN.md; :meth:`fast` turns them all on. Results are identical
+    either way (property-tested); only the modeled op mix and the host
+    wall time change.
+    """
 
     arena_capacity: int = NodeArena.DEFAULT_CAPACITY
     atomic_arena_cursor: bool = False   #: ablation: shared-cursor allocation
     quote_sugar: bool = True            #: 'x reader shorthand (extension)
     max_loop_iterations: int = 1_000_000
     gc_after_command: bool = True       #: reclaim unreachable nodes between commands
+    intern_symbols: bool = False        #: fast path: id compares over strcmp chains
+    indexed_roots: bool = False         #: fast path: hash index on root scopes
+    parse_cache_capacity: int = 0       #: fast path: memoized parse trees (0 = off)
+
+    @classmethod
+    def fast(cls, **overrides) -> "InterpreterOptions":
+        """The full fast path: interning + indexed roots + parse cache."""
+        overrides.setdefault("intern_symbols", True)
+        overrides.setdefault("indexed_roots", True)
+        overrides.setdefault("parse_cache_capacity", 256)
+        return cls(**overrides)
 
 
 class Interpreter:
@@ -74,8 +96,19 @@ class Interpreter:
             capacity=self.options.arena_capacity,
             atomic_cursor=self.options.atomic_arena_cursor,
         )
+        self.symtab: Optional[SymbolTable] = (
+            SymbolTable() if self.options.intern_symbols else None
+        )
+        self.arena.symtab = self.symtab
+        self.parse_cache: Optional["ParseCache"] = None
+        if self.options.parse_cache_capacity > 0:
+            from ..runtime.parse_cache import ParseCache
+
+            self.parse_cache = ParseCache(self.options.parse_cache_capacity)
         self.registry: BuiltinRegistry = install_all(BuiltinRegistry())
         self.global_env = Environment(label="global")
+        if self.options.indexed_roots:
+            self.global_env.enable_index()
         self.evaluator = Evaluator(self)
         self.parallel_engine: ParallelEngine = sequential_engine
         # File I/O backend; devices replace this with the message-buffer
@@ -105,11 +138,15 @@ class Interpreter:
         """Build the global environment (master thread's startup job:
         "The master thread ... sets up the global environment used by
         all worker threads")."""
+        symtab = self.symtab
         for builtin in self.registry:
             node = self.arena.alloc(NodeType.N_FUNCTION, ctx)
             ctx.charge(Op.NODE_WRITE, 2)
-            node.set_str(builtin.name).set_fn(builtin).seal()
-            self.global_env.define(builtin.name, node, ctx)
+            node.set_str(builtin.name).set_fn(builtin)
+            if symtab is not None:
+                node.sym_id = symtab.intern(builtin.name, ctx)
+            node.seal()
+            self.global_env.define(builtin.name, node, ctx, sym_id=node.sym_id)
 
     # -- tenant environments (multi-tenant serving) -------------------------------
 
@@ -122,6 +159,8 @@ class Interpreter:
         """
         env = self.global_env.child(label=label)
         env.session_root = True
+        if self.options.indexed_roots:
+            env.enable_index()
         self.register_root_env(env)
         return env
 
@@ -151,6 +190,7 @@ class Interpreter:
         clone.ival = node.ival
         clone.fval = node.fval
         clone.sval = node.sval
+        clone.sym_id = node.sym_id
         clone.fn = node.fn
         clone.first = node.first
         clone.last = node.last
@@ -211,6 +251,30 @@ class Interpreter:
     def printer_for(self, ctx: ExecContext) -> Printer:
         return Printer(ctx)
 
+    # -- parsing (with the serving parse cache, when enabled) ---------------------------
+
+    def parse_source(self, source: str | SourceBuffer, ctx: ExecContext) -> list[Node]:
+        """Parse one command's top-level forms, through the parse cache.
+
+        Without a cache this is exactly the paper's serial char-by-char
+        scan. With one (fast path), a repeated source text skips the scan
+        entirely: the memoized template tree is deep-copied into the
+        arena as fresh nodes — modeled as node allocs/copies, which are
+        far cheaper than a ``CHAR_LOAD`` + ``PARSE_STEP`` per character —
+        so every request still evaluates a private tree (no structure is
+        ever shared between requests).
+        """
+        cache = self.parse_cache
+        if cache is None:
+            return Parser(self, ctx).parse(source)
+        text = source.text if isinstance(source, SourceBuffer) else source
+        template = cache.get(text, ctx)
+        if template is not None:
+            return cache.materialize(template, self.arena, ctx)
+        forms = Parser(self, ctx).parse(source)
+        cache.put(text, forms)
+        return forms
+
     # -- the paper's execution flow (Fig. 5) ------------------------------------------
 
     def process(
@@ -235,8 +299,7 @@ class Interpreter:
         out.bind(ctx)
 
         ctx.set_phase(Phase.PARSE)
-        parser = Parser(self, ctx)
-        forms = parser.parse(source)
+        forms = self.parse_source(source, ctx)
 
         ctx.set_phase(Phase.EVAL)
         self.push_output(out)

@@ -67,6 +67,7 @@ class Node:
         "ival",
         "fval",
         "sval",
+        "sym_id",
         "fn",
         "first",
         "last",
@@ -82,6 +83,10 @@ class Node:
         self.ival: int = 0
         self.fval: float = 0.0
         self.sval: str = ""
+        #: Interned symbol id (see repro.core.symtab); -1 = not interned.
+        #: Literal paper mode never assigns ids, so every comparison
+        #: falls back to the strcmp chain the paper describes.
+        self.sym_id: int = -1
         self.fn: Optional["BuiltinFunction"] = None
         self.first: Optional[Node] = None
         self.last: Optional[Node] = None

@@ -31,6 +31,11 @@ The numbers below, combined with the device clocks in ``specs.py``, put
 every figure of the paper in the right order with roughly the right
 ratios; ``repro.bench.claims`` re-checks this on every run. A user with
 real hardware would re-measure these vectors.
+
+The two fast-path ops (an ablation beyond the paper, never emitted in
+literal mode) are costed conservatively: ``sym_cmp`` is one register
+compare (ALU-class), ``hash_probe`` is a hash computation plus one
+dependent global-memory load (slightly above ``node_read``).
 """
 
 from __future__ import annotations
@@ -59,7 +64,7 @@ _FERMI = CostTable.build(
     alu=14, imul=18, idiv=260, fadd=16, fmul=16, fdiv=180,
     branch=10, call=40,
     node_read=50, node_write=14, node_alloc=18,
-    env_step=40, sym_char_cmp=8,
+    env_step=40, sym_char_cmp=8, sym_cmp=14, hash_probe=62,
     char_load=60, char_store=24, parse_step=18, print_step=786,
     atomic_rmw=110, atomic_load=120, barrier=40, fence=25,
     postbox_read=60, postbox_write=40,
@@ -70,7 +75,7 @@ _KEPLER = CostTable.build(
     alu=9, imul=10, idiv=140, fadd=9, fmul=9, fdiv=120,
     branch=8, call=32,
     node_read=28, node_write=8, node_alloc=12,
-    env_step=30, sym_char_cmp=6,
+    env_step=30, sym_char_cmp=6, sym_cmp=9, hash_probe=36,
     char_load=430, char_store=30, parse_step=65, print_step=567,
     atomic_rmw=65, atomic_load=90, barrier=30, fence=20,
     postbox_read=35, postbox_write=35,
@@ -81,7 +86,7 @@ _MAXWELL = CostTable.build(
     alu=6, imul=8, idiv=110, fadd=6, fmul=6, fdiv=95,
     branch=7, call=28,
     node_read=26, node_write=7, node_alloc=10,
-    env_step=28, sym_char_cmp=5,
+    env_step=28, sym_char_cmp=5, sym_cmp=6, hash_probe=32,
     char_load=1400, char_store=26, parse_step=180, print_step=590,
     atomic_rmw=58, atomic_load=70, barrier=24, fence=16,
     postbox_read=32, postbox_write=30,
@@ -92,7 +97,7 @@ _PASCAL = CostTable.build(
     alu=6, imul=7, idiv=95, fadd=6, fmul=6, fdiv=85,
     branch=6, call=26,
     node_read=22, node_write=6, node_alloc=8,
-    env_step=24, sym_char_cmp=5,
+    env_step=24, sym_char_cmp=5, sym_cmp=6, hash_probe=28,
     char_load=1080, char_store=22, parse_step=130, print_step=305,
     atomic_rmw=48, atomic_load=60, barrier=20, fence=14,
     postbox_read=28, postbox_write=25,
@@ -108,7 +113,7 @@ _VOLTA = CostTable.build(
     alu=5, imul=6, idiv=80, fadd=5, fmul=5, fdiv=70,
     branch=5, call=22,
     node_read=18, node_write=5, node_alloc=6,
-    env_step=18, sym_char_cmp=4,
+    env_step=18, sym_char_cmp=4, sym_cmp=5, hash_probe=22,
     char_load=300, char_store=18, parse_step=55, print_step=180,
     atomic_rmw=36, atomic_load=45, barrier=16, fence=10,
     postbox_read=20, postbox_write=18,
@@ -131,7 +136,7 @@ CPU_INTEL_COSTS = CostTable.build(
     alu=1, imul=3, idiv=6, fadd=2, fmul=2, fdiv=18,
     branch=0.6, call=2,
     node_read=1.2, node_write=1.5, node_alloc=2,
-    env_step=0.7, sym_char_cmp=0.2,
+    env_step=0.7, sym_char_cmp=0.2, sym_cmp=0.5, hash_probe=1.5,
     char_load=0.8, char_store=1, parse_step=1.2, print_step=1.2,
     atomic_rmw=14, atomic_load=4, barrier=30, fence=8,
     postbox_read=3, postbox_write=6,
@@ -142,7 +147,7 @@ CPU_AMD_COSTS = CostTable.build(
     alu=1.3, imul=4, idiv=8, fadd=2.5, fmul=2.5, fdiv=22,
     branch=0.9, call=2.8,
     node_read=1.6, node_write=1.8, node_alloc=2.5,
-    env_step=1.2, sym_char_cmp=0.3,
+    env_step=1.2, sym_char_cmp=0.3, sym_cmp=0.7, hash_probe=2.0,
     char_load=0.9, char_store=1.1, parse_step=1.2, print_step=1.2,
     atomic_rmw=18, atomic_load=5, barrier=40, fence=10,
     postbox_read=3.5, postbox_write=8,

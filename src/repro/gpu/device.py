@@ -22,7 +22,6 @@ import numpy as np
 from ..context import CountingContext
 from ..core.interpreter import Interpreter, InterpreterOptions
 from ..core.printer import Printer
-from ..core.reader import Parser
 from ..errors import DeviceShutdownError
 from ..gpu.cache import SetAssociativeCache
 from ..gpu.fileio import FileServiceLink, HostFileSystem
@@ -378,9 +377,9 @@ class GPUDevice:
                     continue
                 c0 = self.master_cycles(Phase.PARSE)
                 try:
-                    parser = Parser(self.interp, master)
-                    job.forms = parser.parse(
-                        SourceBuffer(text, base=self.input_region.base + offset)
+                    job.forms = self.interp.parse_source(
+                        SourceBuffer(text, base=self.input_region.base + offset),
+                        master,
                     )
                 except LispError as exc:
                     job.error = exc

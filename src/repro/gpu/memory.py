@@ -19,6 +19,11 @@ from ..ops import Op
 
 __all__ = ["GlobalMemory", "Region", "SourceBuffer", "OutputBuffer"]
 
+# Fixed op tuples for the two per-character hot loops: one bulk charge
+# per step instead of two Python calls (counts are identical).
+_SCAN_OPS = (Op.CHAR_LOAD, Op.PARSE_STEP)
+_PRINT_OPS = (Op.CHAR_STORE, Op.PRINT_STEP)
+
 
 @dataclass(frozen=True)
 class Region:
@@ -102,8 +107,7 @@ class SourceBuffer:
         """Charged single-character load; '\\0' past the end (C-style)."""
         ctx = self._ctx
         if ctx is not None:
-            ctx.charge(Op.CHAR_LOAD)
-            ctx.charge(Op.PARSE_STEP)
+            ctx.charge_many(_SCAN_OPS)
             ctx.touch_memory(self.base + pos)
         if pos >= len(self.text):
             return "\0"
@@ -150,8 +154,7 @@ class OutputBuffer:
             )
         ctx = self._ctx
         if ctx is not None:
-            ctx.charge(Op.CHAR_STORE, n)
-            ctx.charge(Op.PRINT_STEP, n)
+            ctx.charge_many(_PRINT_OPS, n)
             ctx.touch_memory(self.base + self._len, n)
         self._parts.append(text)
         self._len += n

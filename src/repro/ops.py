@@ -58,6 +58,12 @@ class Op(IntEnum):
     POSTBOX_READ = 21  #: read one postbox field
     POSTBOX_WRITE = 22 #: write one postbox field
 
+    # Fast-path ablation ops (interned symbols / indexed root scopes).
+    # Charged only when the corresponding InterpreterOptions flag is on;
+    # the literal paper mode never emits them.
+    SYM_CMP = 23       #: compare two interned symbol ids (one register cmp)
+    HASH_PROBE = 24    #: probe a hashed binding index (hash + one load)
+
 
 N_OPS = len(Op)
 
@@ -145,9 +151,12 @@ class OpCounts:
         self.rows[phase][op] += n
 
     def merge(self, other: "OpCounts") -> None:
-        for mine, theirs in zip(self.rows, other.rows):
-            for i in range(N_OPS):
-                mine[i] += theirs[i]
+        merged = np.asarray(self.rows, dtype=np.float64)
+        merged += np.asarray(other.rows, dtype=np.float64)
+        # Write back in place: live aliases into rows (CountingContext
+        # caches its current phase row) must keep observing the counts.
+        for row, summed in zip(self.rows, merged.tolist()):
+            row[:] = summed
 
     def matrix(self) -> np.ndarray:
         return np.asarray(self.rows, dtype=np.float64)

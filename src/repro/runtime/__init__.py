@@ -3,6 +3,7 @@ generators, and simulation-fidelity utilities."""
 
 from .fidelity import Fidelity, group_rows, task_signature
 from .devices import available_devices, device_for, DEVICE_NAMES
+from .parse_cache import ParseCache, ParseCacheStats
 from .session import CuLiSession
 
 __all__ = [
@@ -10,6 +11,8 @@ __all__ = [
     "group_rows",
     "task_signature",
     "CuLiSession",
+    "ParseCache",
+    "ParseCacheStats",
     "available_devices",
     "device_for",
     "DEVICE_NAMES",

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from ..timing import CommandStats
 
+from ..core.interpreter import InterpreterOptions
 from ..cpu.device import CPUDeviceConfig
 from ..gpu.device import GPUDeviceConfig
 from .pool import DevicePool, DeviceSpec
@@ -44,7 +45,21 @@ class CuLiServer:
         max_batch: int = 32,
         gpu_config: Optional[GPUDeviceConfig] = None,
         cpu_config: Optional[CPUDeviceConfig] = None,
+        fast_path: bool = True,
     ) -> None:
+        # The serving layer defaults to the fast-path ablation (interned
+        # symbols, indexed session roots, parse cache): serving is our
+        # infrastructure on top of the paper, so — like the arena's
+        # private-cursor default — it ships the fast mode while
+        # ``fast_path=False`` keeps the paper-literal interpreter for
+        # baseline comparisons. An explicitly passed device config always
+        # wins over the flag.
+        self.fast_path = fast_path
+        if fast_path:
+            if gpu_config is None:
+                gpu_config = GPUDeviceConfig(interpreter=InterpreterOptions.fast())
+            if cpu_config is None:
+                cpu_config = CPUDeviceConfig(interpreter=InterpreterOptions.fast())
         self.pool = DevicePool(devices, gpu_config=gpu_config, cpu_config=cpu_config)
         self.scheduler = Scheduler(self.pool, max_batch=max_batch)
         self.stats = ServerStats()

@@ -1,0 +1,111 @@
+"""Property: the fast path (interned symbols, indexed roots, parse
+cache) is observationally identical to the paper-literal interpreter.
+
+Randomized programs — defuns, lets, setqs, nested arithmetic, repeated
+commands (to exercise the parse cache's materialization path) — must
+print the same results under both modes; only the op mix may differ.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.context import CountingContext, NullContext
+from repro.core.interpreter import Interpreter, InterpreterOptions
+from repro.ops import Op
+
+NAMES = ("alpha", "beta", "gamma-value", "delta", "accumulator-total")
+FNAMES = ("combine", "triangle-step", "mix-values")
+OPS = ("+", "-", "*", "max", "min")
+
+ints = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def exprs(draw, bound: tuple, depth: int = 0):
+    choices = ["int", "int"]
+    if bound:
+        choices.append("var")
+    if depth < 3:
+        choices.extend(["arith", "let", "if"])
+    kind = draw(st.sampled_from(choices))
+    if kind == "int":
+        return str(draw(ints))
+    if kind == "var":
+        return draw(st.sampled_from(bound))
+    if kind == "arith":
+        op = draw(st.sampled_from(OPS))
+        a = draw(exprs(bound, depth + 1))
+        b = draw(exprs(bound, depth + 1))
+        return f"({op} {a} {b})"
+    if kind == "let":
+        var = draw(st.sampled_from(NAMES))
+        init = draw(exprs(bound, depth + 1))
+        body = draw(exprs(tuple(set(bound) | {var}), depth + 1))
+        return f"(let (({var} {init})) {body})"
+    test = draw(exprs(bound, depth + 1))
+    then = draw(exprs(bound, depth + 1))
+    els = draw(exprs(bound, depth + 1))
+    return f"(if {test} {then} {els})"
+
+
+@st.composite
+def programs(draw):
+    commands = []
+    fname = draw(st.sampled_from(FNAMES))
+    params = draw(
+        st.lists(st.sampled_from(NAMES), min_size=1, max_size=3, unique=True)
+    )
+    body = draw(exprs(tuple(params)))
+    commands.append(f"(defun {fname} ({' '.join(params)}) {body})")
+    args = " ".join(str(draw(ints)) for _ in params)
+    commands.append(f"({fname} {args})")
+    var = draw(st.sampled_from(NAMES))
+    commands.append(f"(setq {var} {draw(exprs(()))})")
+    commands.append(var)
+    commands.append(draw(exprs((var,))))
+    # Repeat a command verbatim: under the fast path the second run goes
+    # through the parse cache's deep-copy materialization.
+    repeat = draw(st.sampled_from(commands))
+    commands.append(repeat)
+    return commands
+
+
+def run_program(commands: list, options: InterpreterOptions) -> list:
+    interp = Interpreter(options=options)
+    ctx = NullContext(max_depth=4096)
+    return [interp.process(command, ctx) for command in commands]
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_fast_path_matches_literal(commands):
+    literal = run_program(commands, InterpreterOptions())
+    fast = run_program(commands, InterpreterOptions.fast())
+    assert fast == literal
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_each_flag_matches_literal_alone(commands):
+    literal = run_program(commands, InterpreterOptions())
+    for flag in (
+        {"intern_symbols": True},
+        {"indexed_roots": True},
+        {"parse_cache_capacity": 64},
+        {"intern_symbols": True, "indexed_roots": True},
+    ):
+        assert run_program(commands, InterpreterOptions(**flag)) == literal
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_literal_mode_never_charges_fast_ops(commands):
+    """Paper fidelity: default options must not emit SYM_CMP/HASH_PROBE."""
+    interp = Interpreter(options=InterpreterOptions())
+    ctx = CountingContext(max_depth=4096)
+    for command in commands:
+        interp.process(command, ctx)
+    assert ctx.counts.count_of(Op.SYM_CMP) == 0
+    assert ctx.counts.count_of(Op.HASH_PROBE) == 0

@@ -83,6 +83,17 @@ class TestOpCounts:
         assert a.count_of(Op.ALU) == 3
         assert a.count_of(Op.BRANCH, Phase.PARSE) == 4
 
+    def test_merge_preserves_row_aliases(self):
+        """CountingContext caches its current phase row; merge must add
+        in place, not rebind rows."""
+        a, b = OpCounts(), OpCounts()
+        row = a.rows[Phase.EVAL]
+        b.add(Phase.EVAL, Op.ALU, 2)
+        a.merge(b)
+        assert a.rows[Phase.EVAL] is row
+        row[Op.ALU] += 1
+        assert a.count_of(Op.ALU) == 3
+
     def test_copy_is_independent(self):
         a = OpCounts()
         a.add(Phase.EVAL, Op.ALU, 1)
