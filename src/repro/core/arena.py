@@ -12,17 +12,29 @@ no atomic — the master partitions the arena so workers bump-allocate
 privately. ``atomic_cursor=True`` switches to the literal shared-cursor
 reading of the paper, where every allocation is a contended atomic
 fetch-add; the ablation benchmark compares both.
+
+Generational regions (DESIGN.md deviation #7): the arena can carve a
+per-request bump *region* (nursery) out of its fixed capacity. While a
+region is active every allocation is tagged with its id; end-of-command
+reclamation then only concerns that region — nodes that escaped into the
+persistent heap were retagged tenured by the GC write barriers, and
+everything still carrying the region tag is returned to the free list in
+one sweep of the region's slab (no marking, no hashing). Bookkeeping is
+list/slab-based throughout: sweeps walk ``_nodes`` (creation order) and
+compare int tags, never hash node objects.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from ..context import ExecContext
 from ..errors import ArenaExhaustedError
 from ..gpu.atomics import AtomicCounter
 from ..ops import Op
-from .nodes import Node, NodeType
+from .nodes import REGION_FREE, REGION_TENURED, Node, NodeType
 
-__all__ = ["NodeArena", "ArenaStats"]
+__all__ = ["NodeArena", "ArenaStats", "GCStats"]
 
 
 class ArenaStats:
@@ -37,6 +49,28 @@ class ArenaStats:
 
     def as_dict(self) -> dict[str, int]:
         return {"allocs": self.allocs, "frees": self.frees, "peak_used": self.peak_used}
+
+
+@dataclass
+class GCStats:
+    """Lifetime reclamation counters for one arena (all GC policies)."""
+
+    minor_collections: int = 0   #: nursery regions reclaimed
+    pure_resets: int = 0         #: minors where nothing escaped (O(1) reset)
+    major_collections: int = 0   #: full mark-sweep passes
+    nodes_freed: int = 0         #: nodes reclaimed by collection
+    nodes_promoted: int = 0      #: nursery survivors retagged tenured
+    gc_wall_ms: float = 0.0      #: host wall time spent collecting
+
+    def as_dict(self) -> dict:
+        return {
+            "minor_collections": self.minor_collections,
+            "pure_resets": self.pure_resets,
+            "major_collections": self.major_collections,
+            "nodes_freed": self.nodes_freed,
+            "nodes_promoted": self.nodes_promoted,
+            "gc_wall_ms": self.gc_wall_ms,
+        }
 
 
 class NodeArena:
@@ -62,10 +96,25 @@ class NodeArena:
         #: interpreter, new_symbol assigns interned ids at parse time.
         self.symtab = None
         self._free: list[Node] = []
-        self._allocated: set[Node] = set()
+        #: Every node ever created, in creation (slab) order. Liveness is
+        #: the node's ``region`` tag (REGION_FREE = on the free list), so
+        #: sweeps iterate this list comparing ints — no set membership,
+        #: no hashing of node objects.
+        self._nodes: list[Node] = []
         self._used = 0
         self._next_idx = 0
         self.stats = ArenaStats()
+        self.gc_stats = GCStats()
+        # -- generational region state (deviation #7) ----------------------
+        #: Region allocations are tagged with; REGION_TENURED between
+        #: commands (setup, prelude, session creation), a positive nursery
+        #: id while a request region is open.
+        self._current_region = REGION_TENURED
+        self._next_region = 1
+        #: Slab of nodes allocated into the currently open region.
+        self._region_nodes: list[Node] = []
+        #: Mark-phase epoch counter (see next_epoch).
+        self._epoch = 0
 
     # -- capacity -------------------------------------------------------------
 
@@ -94,8 +143,12 @@ class NodeArena:
                 )
             node = Node(self._next_idx, ntype)
             self._next_idx += 1
+            self._nodes.append(node)
         self._used += 1
-        self._allocated.add(node)
+        region = self._current_region
+        node.region = region
+        if region > REGION_TENURED:
+            self._region_nodes.append(node)
         self.stats.allocs += 1
         if self._used > self.stats.peak_used:
             self.stats.peak_used = self._used
@@ -117,17 +170,33 @@ class NodeArena:
         node.linked = False
 
     def free(self, node: Node) -> None:
-        """Mark one node as free (it may be handed out again)."""
+        """Mark one node as free (it may be handed out again).
+
+        The node's value and link fields are cleared *immediately* — a
+        node sitting on the free list must neither pin its former
+        subgraph alive on the host nor leak prior request state (symbol
+        ids, parameter lists) to whoever recycles it.
+        """
+        if node.region == REGION_FREE:
+            raise ArenaExhaustedError(
+                f"node #{node.idx} already on the free list — double free?"
+            )
         if self._used <= 0:
             raise ArenaExhaustedError("free() with no live nodes — double free?")
-        self._allocated.discard(node)
+        self._reset(node, NodeType.N_NIL)
+        node.region = REGION_FREE
         self._used -= 1
         self.stats.frees += 1
         self._free.append(node)
 
     def allocated_nodes(self) -> set[Node]:
         """Live nodes (a copy — callers may free while iterating)."""
-        return set(self._allocated)
+        return {node for node in self._nodes if node.region != REGION_FREE}
+
+    def live_nodes(self) -> list[Node]:
+        """Live nodes in slab (creation) order — the sweep path; builds a
+        list by comparing int tags, never hashing node objects."""
+        return [node for node in self._nodes if node.region != REGION_FREE]
 
     def free_tree(self, node: Node) -> int:
         """Mark a whole sub-tree free; returns the number of nodes freed.
@@ -147,6 +216,65 @@ class NodeArena:
             self.free(cur)
             freed += 1
         return freed
+
+    # -- generational regions (deviation #7) -----------------------------------
+
+    @property
+    def region_active(self) -> bool:
+        return self._current_region > REGION_TENURED
+
+    @property
+    def current_region(self) -> int:
+        return self._current_region
+
+    def begin_region(self) -> int:
+        """Open a nursery region; subsequent allocations are tagged with
+        its id until :meth:`reset_region`. Idempotent: if a region is
+        already open (batched requests share one region per device
+        transaction) the open region is reused."""
+        if self._current_region > REGION_TENURED:
+            return self._current_region
+        region = self._next_region
+        self._next_region += 1
+        self._current_region = region
+        return region
+
+    def reset_region(self) -> tuple[int, int]:
+        """Reclaim the open nursery region; returns (freed, promoted).
+
+        Every node still tagged with the region id is returned to the
+        free list; nodes the write barriers retagged tenured survive.
+        With zero survivors this is the O(1) bump-pointer reset of a
+        region allocator — the host still walks the slab to recycle the
+        Python objects, but no marking and no hashing happens either way.
+        """
+        region = self._current_region
+        if region <= REGION_TENURED:
+            return (0, 0)
+        freed = 0
+        promoted = 0
+        for node in self._region_nodes:
+            if node.region == region:
+                self.free(node)
+                freed += 1
+            elif node.region == REGION_TENURED:
+                promoted += 1
+        self._region_nodes.clear()
+        self._current_region = REGION_TENURED
+        self.gc_stats.minor_collections += 1
+        self.gc_stats.nodes_freed += freed
+        self.gc_stats.nodes_promoted += promoted
+        if promoted == 0:
+            self.gc_stats.pure_resets += 1
+        return (freed, promoted)
+
+    # -- mark epochs ------------------------------------------------------------
+
+    def next_epoch(self) -> int:
+        """A fresh mark-phase epoch (monotonic; epoch-stamped visited
+        flags on nodes replace set-based marking)."""
+        self._epoch += 1
+        return self._epoch
 
     # -- convenience constructors ----------------------------------------------
 

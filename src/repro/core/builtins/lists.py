@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ...errors import EvalError, TypeMismatchError
 from ...ops import Op
-from ..nodes import Node, NodeType
+from ..nodes import REGION_TENURED, Node, NodeType, promote_subgraph
 from .helpers import as_int, build_list, eval_args, list_items, nodes_equal, require_list
 
 __all__ = ["register"]
@@ -59,6 +59,13 @@ def _cons(interp, env, ctx, args, depth) -> Node:
         # Share the tail's chain; only our fresh head node is rewired.
         first.nxt = tail.first
         lst.last = tail.last
+        # Write barrier (generational GC): this is the one chain-rewiring
+        # write outside append_child whose source can be tenured — a
+        # previously-defined, never-linked head is reused as-is by
+        # linkable(), so its new sibling edge must pull the nursery tail
+        # out of the region before a reset could free it.
+        if first.region == REGION_TENURED and tail.first.region > REGION_TENURED:
+            promote_subgraph(tail.first)
     return lst.seal()
 
 

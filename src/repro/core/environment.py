@@ -25,6 +25,13 @@ Fast-path ablation (beyond the paper, see DESIGN.md deviations):
   lookup there is one ``HASH_PROBE`` instead of an O(n) entry walk.
   Inner let/call scopes stay linked lists — they are short-lived and
   tiny, exactly like the paper's.
+* Under the generational GC policy (DESIGN.md deviation #7) persistent
+  scopes — the global environment and session roots — carry a reference
+  to their arena (``gc_arena``) and install a **promotion write
+  barrier**: a ``define`` or ``setq`` that lands here promotes the bound
+  subgraph out of the request's nursery region, so end-of-command
+  reclamation never has to rescan the persistent heap. Inner scopes
+  never carry the barrier; bindings there die with the request.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from typing import Iterator, Optional
 from ..context import ExecContext
 from ..ops import Op
 from ..strlib import str_cmp
-from .nodes import Node
+from .nodes import Node, promote_subgraph
 
 __all__ = ["EnvEntry", "Environment"]
 
@@ -60,7 +67,15 @@ class EnvEntry:
 class Environment:
     """A linked-list scope with a parent pointer."""
 
-    __slots__ = ("head", "parent", "label", "session_root", "_index", "_count")
+    __slots__ = (
+        "head",
+        "parent",
+        "label",
+        "session_root",
+        "gc_arena",
+        "_index",
+        "_count",
+    )
 
     def __init__(self, parent: Optional["Environment"] = None, label: str = "") -> None:
         self.head: Optional[EnvEntry] = None
@@ -72,6 +87,11 @@ class Environment:
         #: symbol) stop here instead, so tenants sharing one device cannot
         #: see each other's definitions.
         self.session_root = False
+        #: Generational-GC promotion barrier: set (to the owning arena) on
+        #: persistent scopes only, by the interpreter, when the policy is
+        #: generational. None = no barrier (literal/full policies, and
+        #: every short-lived inner scope).
+        self.gc_arena = None
         #: Hash index over bindings (root scopes only; see module docs).
         self._index: Optional[dict] = None
         self._count = 0
@@ -162,6 +182,12 @@ class Environment:
             # dict insert overwrites: the newest define shadows, exactly
             # like the prepended list entry it mirrors.
             index[symbol] = entry
+        if self.gc_arena is not None:
+            # Promotion write barrier: the bound subgraph escapes its
+            # request. One tag write per promoted node.
+            promoted = promote_subgraph(node)
+            if promoted:
+                ctx.charge(Op.NODE_WRITE, promoted)
 
     def _find_here(
         self, symbol: str, ctx: ExecContext, sym_id: int = -1
@@ -234,6 +260,10 @@ class Environment:
                     return False
                 ctx.charge(Op.NODE_WRITE)
                 entry.node = node
+                if env.gc_arena is not None:
+                    promoted = promote_subgraph(node)
+                    if promoted:
+                        ctx.charge(Op.NODE_WRITE, promoted)
                 return True
             if env.session_root:
                 above_session_root = True

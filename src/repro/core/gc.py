@@ -7,33 +7,62 @@ their sub-trees — must survive; everything else (the command's parse
 tree, evaluation temporaries, the printed result) is garbage once the
 output string has left the device.
 
-We implement "marking free" as an explicit mark-sweep pass that the
-device runs between commands: mark from the global environment (entries,
-their value nodes, child chains, parameter lists) plus the interpreter
-singletons, then sweep every unmarked allocated node back to the free
-list. The paper's C implementation frees nodes opportunistically during
-evaluation; end-of-command collection is our documented deviation — the
-observable behaviour (a bounded arena that does not leak across
-commands) is the same, and the cost is charged outside the three kernel
-phases the paper reports.
+Three reclamation policies (``InterpreterOptions.gc_policy``):
+
+* ``"literal"`` (default) — the PR 1/2 behaviour, byte for byte: an
+  uncharged stop-the-world mark-sweep between commands, rooted at the
+  global environment, the interpreter singletons, and every registered
+  tenant session environment (DESIGN.md deviation #4).
+* ``"full"`` — the same full mark-sweep, but *charged* as modeled device
+  work (``PhaseBreakdown.gc_ms``, outside the paper's three kernel
+  phases): the honest-accounting baseline whose cost scales with the
+  total live heap × tenants.
+* ``"generational"`` — region-aware generational collection (DESIGN.md
+  deviation #7): the arena carves a per-request nursery region, the
+  environment write barriers promote escaping subgraphs to the tenured
+  generation, and end-of-command collection is a region reset whose
+  modeled cost is O(survivors) — O(1) when nothing escaped — instead of
+  O(total live heap). The full mark-sweep is kept as the tenure-pressure
+  fallback and as the property-test oracle.
+
+Marking is epoch-stamped: each pass bumps the arena's epoch and writes
+it into ``Node.gc_epoch``, and sweeps walk the arena's slab list
+comparing int tags — no pass ever hashes node objects.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from time import perf_counter
+from typing import TYPE_CHECKING, Optional
 
-from .nodes import Node
+from ..context import CountingContext, ExecContext, NullContext
+from ..ops import Op
+from .nodes import REGION_FREE, Node
 
 if TYPE_CHECKING:  # pragma: no cover
     from .environment import Environment
     from .interpreter import Interpreter
 
-__all__ = ["mark_reachable", "collect_garbage"]
+__all__ = [
+    "mark_reachable",
+    "gather_roots",
+    "mark_epoch",
+    "collect_major",
+    "collect_garbage",
+    "collect_with_accounting",
+]
+
+#: Shared do-nothing context for the uncharged (literal) policy.
+_NULL_CTX = NullContext()
 
 
 def mark_reachable(roots: list[Node]) -> set[Node]:
     """Every node reachable from ``roots`` through list structure
-    (first/nxt chains), parameter lists, and form bodies."""
+    (first/nxt chains), parameter lists, and form bodies.
+
+    Set-based; kept as the slow oracle for tests. The collector itself
+    uses :func:`mark_epoch`.
+    """
     marked: set[Node] = set()
     stack = list(roots)
     while stack:
@@ -53,34 +82,149 @@ def mark_reachable(roots: list[Node]) -> set[Node]:
     return marked
 
 
-def _environment_roots(env: "Environment") -> list[Node]:
+def gather_roots(interp: "Interpreter") -> list[Node]:
+    """Every GC root node: the global environment's bindings, each
+    registered tenant session environment's bindings, and the
+    interpreter singletons.
+
+    Scope chains are deduplicated: every tenant session root is a child
+    of the same global environment, so each scope is visited exactly
+    once no matter how many sessions share it (the climb stops at the
+    first already-visited scope).
+    """
     roots: list[Node] = []
-    seen = set()
-    cursor = env
-    while cursor is not None and id(cursor) not in seen:
-        seen.add(id(cursor))
-        for entry in cursor.entries():
-            roots.append(entry.node)
-        cursor = cursor.parent  # type: ignore[assignment]
+    seen_scopes: set[int] = set()
+    envs: list["Environment"] = [interp.global_env]
+    envs.extend(interp.extra_roots)
+    for env in envs:
+        cursor: Optional["Environment"] = env
+        while cursor is not None and id(cursor) not in seen_scopes:
+            seen_scopes.add(id(cursor))
+            for entry in cursor.entries():
+                roots.append(entry.node)
+            cursor = cursor.parent
+    roots.append(interp.nil)
+    roots.append(interp.true)
     return roots
 
 
-def collect_garbage(interp: "Interpreter") -> int:
-    """Sweep every node unreachable from the global environment or from a
-    registered tenant environment (``interp.extra_roots``).
+def mark_epoch(roots: list[Node], epoch: int, ctx: ExecContext) -> int:
+    """Stamp ``epoch`` into every node reachable from ``roots``.
 
-    Returns the number of nodes freed. Runs uncharged (between-command
-    housekeeping, outside the paper's kernel phases).
+    Replaces set-based marking with an int compare/store per node; one
+    ``NODE_READ`` is charged per node visited (the device fetches its
+    link fields once).
     """
-    roots = _environment_roots(interp.global_env)
-    for env in interp.extra_roots:
-        roots.extend(_environment_roots(env))
-    roots.append(interp.nil)
-    roots.append(interp.true)
-    marked = mark_reachable(roots)
+    visited = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.gc_epoch == epoch:
+            continue
+        node.gc_epoch = epoch
+        ctx.charge(Op.NODE_READ)
+        visited += 1
+        if node.first is not None:
+            stack.append(node.first)
+        if node.nxt is not None:
+            stack.append(node.nxt)
+        if node.params is not None:
+            stack.append(node.params)
+    return visited
+
+
+def collect_major(interp: "Interpreter", ctx: Optional[ExecContext] = None) -> int:
+    """Full stop-the-world mark-sweep from every root (the fallback and
+    oracle collector; the literal policy's only collector).
+
+    Marks with epoch stamps, then sweeps the arena slab in creation
+    order, freeing every live node whose stamp is stale. Charges one
+    ``NODE_READ`` per marked node and per swept slot, and one
+    ``NODE_WRITE`` per freed node, to ``ctx`` (pass none to run
+    uncharged). Must only run between commands: evaluation temporaries
+    held on the host stack are not rooted.
+    """
+    if ctx is None:
+        ctx = _NULL_CTX
+    arena = interp.arena
+    epoch = arena.next_epoch()
+    mark_epoch(gather_roots(interp), epoch, ctx)
     freed = 0
-    for node in interp.arena.allocated_nodes():
-        if node not in marked:
-            interp.arena.free(node)
+    for node in arena._nodes:
+        if node.region == REGION_FREE:
+            continue
+        ctx.charge(Op.NODE_READ)
+        if node.gc_epoch != epoch:
+            arena.free(node)
+            ctx.charge(Op.NODE_WRITE)
             freed += 1
+    arena.gc_stats.major_collections += 1
+    arena.gc_stats.nodes_freed += freed
     return freed
+
+
+def collect_garbage(interp: "Interpreter", ctx: Optional[ExecContext] = None) -> int:
+    """Between-command reclamation under the interpreter's GC policy.
+
+    Returns the number of nodes freed. ``ctx`` receives the modeled
+    device cost of collection for the charged policies; the literal
+    policy always runs uncharged (PR 1/2 behaviour, byte for byte).
+    """
+    arena = interp.arena
+    policy = interp.options.gc_policy
+    t0 = perf_counter()
+    try:
+        if policy == "generational":
+            if ctx is None:
+                ctx = _NULL_CTX
+            if not arena.region_active:
+                # No nursery to reset: an explicit between-command call
+                # (e.g. after releasing a session env). Tenured garbage
+                # is only reachable by the fallback full sweep.
+                return collect_major(interp, ctx)
+            freed, promoted = arena.reset_region()
+            # Modeled cost: one bump-pointer reset, plus an evacuation
+            # scan of the survivors the write barriers promoted. O(1)
+            # when nothing escaped; never a function of the tenured heap.
+            ctx.charge(Op.NODE_WRITE)
+            if promoted:
+                ctx.charge(Op.NODE_READ, promoted)
+                ctx.charge(Op.NODE_WRITE, promoted)
+            watermark = interp.options.gc_major_watermark
+            if arena.used > watermark * arena.capacity:
+                freed += collect_major(interp, ctx)
+            return freed
+        if policy == "full":
+            return collect_major(interp, ctx)
+        # literal: uncharged full mark-sweep (deviation #4, unchanged)
+        return collect_major(interp, None)
+    finally:
+        arena.gc_stats.gc_wall_ms += (perf_counter() - t0) * 1000.0
+
+
+def collect_with_accounting(interp: "Interpreter", spec) -> tuple[int, float, int, int, float]:
+    """Device-side end-of-command collection with cost conversion (the
+    shared body of both devices' ``_run_gc``).
+
+    Runs the policy collector charged to a fresh counting context and
+    converts the op counts into modeled milliseconds through the
+    device's cost table. Returns ``(freed, gc_ms, regions_reset,
+    major_collections, wall_ms)``; the literal policy charges nothing,
+    so its ``gc_ms`` is always 0.0 and literal figures are untouched.
+    """
+    if not interp.options.gc_after_command:
+        return 0, 0.0, 0, 0, 0.0
+    stats = interp.arena.gc_stats
+    minors0 = stats.minor_collections
+    majors0 = stats.major_collections
+    wall0 = stats.gc_wall_ms
+    gctx = CountingContext()
+    freed = collect_garbage(interp, gctx)
+    gc_cycles = float(spec.costs.vector @ gctx.counts.total())
+    return (
+        freed,
+        spec.cycles_to_ms(gc_cycles),
+        stats.minor_collections - minors0,
+        stats.major_collections - majors0,
+        stats.gc_wall_ms - wall0,
+    )

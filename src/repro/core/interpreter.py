@@ -71,13 +71,27 @@ class InterpreterOptions:
     intern_symbols: bool = False        #: fast path: id compares over strcmp chains
     indexed_roots: bool = False         #: fast path: hash index on root scopes
     parse_cache_capacity: int = 0       #: fast path: memoized parse trees (0 = off)
+    #: Reclamation policy (DESIGN.md deviations #4/#7): "literal" = the
+    #: uncharged between-command full mark-sweep, byte-identical to the
+    #: paper-mode baseline; "full" = the same sweep charged as modeled
+    #: device time (honest-accounting baseline); "generational" =
+    #: per-request nursery regions + promotion write barriers, with the
+    #: full sweep kept as tenure-pressure fallback.
+    gc_policy: str = "literal"
+    #: Tenured-heap fraction of arena capacity that triggers a major
+    #: collection after a minor one (generational policy only).
+    gc_major_watermark: float = 0.75
+
+    GC_POLICIES = ("literal", "full", "generational")
 
     @classmethod
     def fast(cls, **overrides) -> "InterpreterOptions":
-        """The full fast path: interning + indexed roots + parse cache."""
+        """The full fast path: interning + indexed roots + parse cache +
+        generational region reclamation."""
         overrides.setdefault("intern_symbols", True)
         overrides.setdefault("indexed_roots", True)
         overrides.setdefault("parse_cache_capacity", 256)
+        overrides.setdefault("gc_policy", "generational")
         return cls(**overrides)
 
 
@@ -92,6 +106,11 @@ class Interpreter:
         setup_ctx: Optional[ExecContext] = None,
     ) -> None:
         self.options = options or InterpreterOptions()
+        if self.options.gc_policy not in InterpreterOptions.GC_POLICIES:
+            raise ValueError(
+                f"unknown gc_policy {self.options.gc_policy!r}; "
+                f"expected one of {InterpreterOptions.GC_POLICIES}"
+            )
         self.arena = NodeArena(
             capacity=self.options.arena_capacity,
             atomic_cursor=self.options.atomic_arena_cursor,
@@ -109,6 +128,9 @@ class Interpreter:
         self.global_env = Environment(label="global")
         if self.options.indexed_roots:
             self.global_env.enable_index()
+        if self.options.gc_policy == "generational":
+            # Persistent scopes carry the promotion write barrier.
+            self.global_env.gc_arena = self.arena
         self.evaluator = Evaluator(self)
         self.parallel_engine: ParallelEngine = sequential_engine
         # File I/O backend; devices replace this with the message-buffer
@@ -161,6 +183,8 @@ class Interpreter:
         env.session_root = True
         if self.options.indexed_roots:
             env.enable_index()
+        if self.options.gc_policy == "generational":
+            env.gc_arena = self.arena
         self.register_root_env(env)
         return env
 
@@ -297,6 +321,7 @@ class Interpreter:
         if out is None:
             out = OutputBuffer()
         out.bind(ctx)
+        self.begin_command_region()
 
         ctx.set_phase(Phase.PARSE)
         forms = self.parse_source(source, ctx)
@@ -317,8 +342,37 @@ class Interpreter:
         ctx.set_phase(Phase.OTHER)
         return out.getvalue()
 
-    def collect_garbage(self) -> int:
-        """Reclaim nodes unreachable from the global environment."""
+    def begin_command_region(self) -> None:
+        """Open (or join) the per-request nursery region (generational
+        policy only; a no-op otherwise). Devices call this once per
+        command or batch transaction; :meth:`process` calls it too so
+        direct interpreter use stays correct."""
+        if self.options.gc_policy == "generational":
+            self.arena.begin_region()
+
+    @property
+    def gc_stats(self):
+        """Lifetime reclamation counters (:class:`~repro.core.arena.GCStats`)."""
+        return self.arena.gc_stats
+
+    def collect_garbage(self, ctx: Optional[ExecContext] = None) -> int:
+        """Reclaim unreachable nodes under the configured GC policy.
+
+        ``ctx``, when given, receives the modeled device cost of the
+        collection (charged policies only; the literal policy always
+        runs uncharged)."""
         from .gc import collect_garbage
 
-        return collect_garbage(self)
+        return collect_garbage(self, ctx)
+
+    def collect_major(self, ctx: Optional[ExecContext] = None) -> int:
+        """Force a full mark-sweep (the fallback/oracle collector),
+        regardless of policy. Only safe between commands."""
+        from .gc import collect_major
+
+        freed = 0
+        if self.arena.region_active:
+            # Close the open nursery first so the sweep never frees
+            # region bookkeeping out from under a later reset.
+            freed, _ = self.arena.reset_region()
+        return freed + collect_major(self, ctx)

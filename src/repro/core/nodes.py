@@ -21,10 +21,24 @@ from ..errors import ImmutabilityError
 if TYPE_CHECKING:  # pragma: no cover
     from .builtins import BuiltinFunction
 
-__all__ = ["NodeType", "Node", "NODE_BYTES"]
+__all__ = [
+    "NodeType",
+    "Node",
+    "NODE_BYTES",
+    "REGION_FREE",
+    "REGION_TENURED",
+    "promote_subgraph",
+]
 
 #: Simulated size of one node struct in device memory (for addressing).
 NODE_BYTES = 64
+
+#: Generation/region tags (generational GC, DESIGN.md deviation #7).
+#: A node is FREE while on the arena's free list, TENURED when it must
+#: survive end-of-command collection, and carries a positive region id
+#: while it lives in the current request's nursery region.
+REGION_FREE = -1
+REGION_TENURED = 0
 
 
 class NodeType(IntEnum):
@@ -75,6 +89,8 @@ class Node:
         "params",
         "sealed",
         "linked",
+        "region",
+        "gc_epoch",
     )
 
     def __init__(self, idx: int, ntype: NodeType) -> None:
@@ -97,6 +113,14 @@ class Node:
         #: into another list would corrupt the first one's sibling chain,
         #: so list builders copy linked nodes (copy-on-link).
         self.linked = False
+        #: Generation/region tag: REGION_FREE on the free list,
+        #: REGION_TENURED once persistent, a positive nursery region id
+        #: while request-local. Maintained by the arena and the GC write
+        #: barriers; never consulted by evaluation semantics.
+        self.region = REGION_TENURED
+        #: Mark-phase visited stamp (collector epoch). Comparing an int
+        #: slot replaces hashing node objects into a marked set.
+        self.gc_epoch = 0
 
     # -- mutation (pre-seal only) -------------------------------------------
 
@@ -143,6 +167,7 @@ class Node:
         """
         self._guard()
         if self.first is None:
+            barrier_source = self.region
             self.first = child
             self.last = child
         else:
@@ -150,10 +175,17 @@ class Node:
             # The previous tail's sibling pointer is list wiring, not node
             # content, so extending an open list may set it even though
             # the tail node's own value is already fixed.
+            barrier_source = self.last.region
             self.last.nxt = child
             self.last = child
         child.nxt = None
         child.linked = True
+        # Link-time write barrier (generational GC): wiring a nursery
+        # child under a tenured node creates a tenured->nursery edge that
+        # a region reset would dangle. Promote the escaping subgraph now,
+        # so minor collection never has to rescan the tenured heap.
+        if barrier_source == REGION_TENURED and child.region > REGION_TENURED:
+            promote_subgraph(child)
         return self
 
     # -- inspection -----------------------------------------------------------
@@ -219,3 +251,33 @@ class Node:
         elif self.ntype in (NodeType.N_FORM, NodeType.N_MACRO, NodeType.N_FUNCTION):
             detail = f"={self.sval or '<anon>'}"
         return f"<Node#{self.idx} {self.ntype.name}{detail}>"
+
+
+def promote_subgraph(node: Node) -> int:
+    """Retag every nursery node reachable from ``node`` as tenured.
+
+    The promotion write barrier: called when a node escapes its request
+    (bound into a persistent scope, or linked under a tenured node).
+    Traversal follows the same edges the mark phase does (first/nxt/
+    params) but *stops at tenured nodes* — the barriers maintain the
+    invariant that tenured nodes never point into a nursery, so the
+    already-tenured frontier cannot hide unpromoted nodes behind it.
+    Returns the number of nodes promoted.
+    """
+    if node.region <= REGION_TENURED:
+        return 0
+    promoted = 0
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if cur.region <= REGION_TENURED:
+            continue
+        cur.region = REGION_TENURED
+        promoted += 1
+        if cur.first is not None:
+            stack.append(cur.first)
+        if cur.nxt is not None:
+            stack.append(cur.nxt)
+        if cur.params is not None:
+            stack.append(cur.params)
+    return promoted

@@ -75,6 +75,13 @@ class CPUDevice:
         row = np.asarray(self.master_ctx.counts.rows[phase], dtype=np.float64)
         return float(self.spec.costs.vector @ row)
 
+    def _run_gc(self) -> tuple[int, float, int, int, float]:
+        """End-of-command reclamation charged as modeled device time;
+        see :func:`repro.core.gc.collect_with_accounting`."""
+        from ..core.gc import collect_with_accounting
+
+        return collect_with_accounting(self.interp, self.spec)
+
     # -- lifecycle ----------------------------------------------------------------
 
     @property
@@ -136,6 +143,8 @@ class CPUDevice:
                 self.interp.collect_garbage()
             raise
 
+        freed, gc_ms, _, _, _ = self._run_gc()
+
         to_ms = self.spec.cycles_to_ms
         times = PhaseBreakdown(
             parse_ms=to_ms(self.master_cycles(Phase.PARSE)),
@@ -145,14 +154,12 @@ class CPUDevice:
             other_ms=self.spec.command_overhead_us / 1000.0,
             transfer_ms=0.0,  # host and device share memory
             host_ms=_HOST_LOOP_MS,
+            gc_ms=gc_ms,
             distribute_ms=to_ms(self.engine.distribute_cycles),
             worker_ms=to_ms(self.engine.worker_wall_cycles),
             collect_ms=to_ms(self.engine.collect_cycles),
             spin_cycles=self.engine.spin_cycles,
         )
-        freed = 0
-        if self.interp.options.gc_after_command:
-            freed = self.interp.collect_garbage()
 
         self.commands_executed += 1
         return CommandStats(
@@ -186,6 +193,9 @@ class CPUDevice:
         self.engine.begin_command()
         jobs_before = self.engine.jobs
         rounds_before = self.engine.round_count
+        # One nursery region for the whole batch; collection runs once
+        # per batch wave-set, never per request.
+        self.interp.begin_command_region()
 
         job_cycles = np.zeros(n, dtype=np.float64)
         phase_cycles = [
@@ -242,6 +252,8 @@ class CPUDevice:
         # summed work (phases interleave across concurrent threads).
         shrink = wall_cycles / total_cycles if total_cycles > 0 else 0.0
 
+        freed, gc_ms, regions_reset, majors, gc_wall_ms = self._run_gc()
+
         to_ms = self.spec.cycles_to_ms
         sum_phase = {
             phase: sum(pc[phase] for pc in phase_cycles)
@@ -254,16 +266,15 @@ class CPUDevice:
             other_ms=self.spec.command_overhead_us / 1000.0,  # ONE wake
             transfer_ms=0.0,
             host_ms=_HOST_LOOP_MS,
+            gc_ms=gc_ms,  # ONE collection per batch
             worker_ms=to_ms(wall_cycles),
         )
-
-        freed = 0
-        if self.interp.options.gc_after_command:
-            freed = self.interp.collect_garbage()
         self.commands_executed += n
 
         share = PhaseBreakdown(
-            other_ms=batch_times.other_ms, host_ms=batch_times.host_ms
+            other_ms=batch_times.other_ms,
+            host_ms=batch_times.host_ms,
+            gc_ms=batch_times.gc_ms,
         ).scaled(1.0 / n)
         items: list[BatchItem] = []
         for i, req in enumerate(requests):
@@ -293,4 +304,7 @@ class CPUDevice:
             jobs=(self.engine.jobs - jobs_before) + sum(1 for e in errors if e is None),
             rounds=(self.engine.round_count - rounds_before) + waves,
             nodes_freed=freed,
+            regions_reset=regions_reset,
+            major_collections=majors,
+            gc_wall_ms=gc_wall_ms,
         )

@@ -127,6 +127,13 @@ class GPUDevice:
 
     # -- cycle accounting helpers ----------------------------------------------
 
+    def _run_gc(self) -> tuple[int, float, int, int, float]:
+        """End-of-command reclamation charged as modeled device time;
+        see :func:`repro.core.gc.collect_with_accounting`."""
+        from ..core.gc import collect_with_accounting
+
+        return collect_with_accounting(self.interp, self.spec)
+
     def master_cycles(self, phase: Phase) -> float:
         row = np.asarray(self.master_ctx.counts.rows[phase], dtype=np.float64)
         return float(self.spec.costs.vector @ row) + self.master_ctx.extra_cycles[phase]
@@ -231,6 +238,8 @@ class GPUDevice:
 
         result_text, down_ms = self.cmdbuf.host_download()
 
+        freed, gc_ms, _, _, _ = self._run_gc()
+
         to_ms = self.spec.cycles_to_ms
         times = PhaseBreakdown(
             parse_ms=to_ms(self.master_cycles(Phase.PARSE)),
@@ -240,6 +249,7 @@ class GPUDevice:
             other_ms=self.spec.command_overhead_us / 1000.0,
             transfer_ms=up_ms + down_ms + self.file_link.stats.transfer_ms,
             host_ms=_HOST_LOOP_MS,
+            gc_ms=gc_ms,
             distribute_ms=to_ms(self.engine.distribute_cycles),
             worker_ms=to_ms(self.engine.worker_wall_cycles),
             collect_ms=to_ms(self.engine.collect_cycles),
@@ -247,9 +257,6 @@ class GPUDevice:
             cache_hits=self.cache.stats.hits - cache_hits0,
             cache_misses=self.cache.stats.misses - cache_miss0,
         )
-        freed = 0
-        if self.interp.options.gc_after_command:
-            freed = self.interp.collect_garbage()
 
         self.commands_executed += 1
         return CommandStats(
@@ -302,6 +309,9 @@ class GPUDevice:
                 merged.jobs += part.jobs
                 merged.rounds += part.rounds
                 merged.nodes_freed += part.nodes_freed
+                merged.regions_reset += part.regions_reset
+                merged.major_collections += part.major_collections
+                merged.gc_wall_ms += part.gc_wall_ms
             return merged
         return self._submit_batch_txn(requests, texts)
 
@@ -356,6 +366,11 @@ class GPUDevice:
         cache_hits0 = self.cache.stats.hits
         cache_miss0 = self.cache.stats.misses
         self.cmdbuf.device_read()  # master wakes once for the whole batch
+        # One nursery region serves the whole batch transaction: every
+        # tenant's temporaries land in it, escapes are promoted by the
+        # write barriers, and collection runs once per service round —
+        # never per item.
+        self.interp.begin_command_region()
 
         jobs: list[ServiceJob] = []
         parse_cycles = [0.0] * n
@@ -422,6 +437,8 @@ class GPUDevice:
         self.cmdbuf.device_write_result(" ".join(outputs))
         _, down_ms = self.cmdbuf.host_download()
 
+        freed, gc_ms, regions_reset, majors, gc_wall_ms = self._run_gc()
+
         to_ms = self.spec.cycles_to_ms
         batch_times = PhaseBreakdown(
             parse_ms=to_ms(self.master_cycles(Phase.PARSE)),
@@ -431,6 +448,7 @@ class GPUDevice:
             other_ms=self.spec.command_overhead_us / 1000.0,  # ONE handshake
             transfer_ms=up_ms + down_ms + self.file_link.stats.transfer_ms,
             host_ms=_HOST_LOOP_MS,
+            gc_ms=gc_ms,  # ONE collection per batch transaction
             distribute_ms=to_ms(self.engine.distribute_cycles),
             worker_ms=to_ms(self.engine.worker_wall_cycles),
             collect_ms=to_ms(self.engine.collect_cycles),
@@ -438,10 +456,6 @@ class GPUDevice:
             cache_hits=self.cache.stats.hits - cache_hits0,
             cache_misses=self.cache.stats.misses - cache_miss0,
         )
-
-        freed = 0
-        if self.interp.options.gc_after_command:
-            freed = self.interp.collect_garbage()
         self.commands_executed += n
 
         # Shared costs (handshake, transfer, distribute/collect, host
@@ -450,6 +464,7 @@ class GPUDevice:
             other_ms=batch_times.other_ms,
             transfer_ms=batch_times.transfer_ms,
             host_ms=batch_times.host_ms,
+            gc_ms=batch_times.gc_ms,
             distribute_ms=batch_times.distribute_ms,
             collect_ms=batch_times.collect_ms,
             eval_ms=batch_times.distribute_ms + batch_times.collect_ms,
@@ -485,4 +500,7 @@ class GPUDevice:
             jobs=self.engine.jobs,
             rounds=self.engine.round_count,
             nodes_freed=freed,
+            regions_reset=regions_reset,
+            major_collections=majors,
+            gc_wall_ms=gc_wall_ms,
         )

@@ -66,6 +66,12 @@ class BatchResult:
     jobs: int = 0          #: worker jobs executed (service + nested |||)
     rounds: int = 0        #: shared distribution rounds used
     nodes_freed: int = 0   #: nodes reclaimed by end-of-batch collection
+    # GC work performed by the end-of-batch collection (satellite of the
+    # generational-GC PR). ``times.gc_ms`` carries the *modeled* device
+    # cost; ``gc_wall_ms`` is simulator host wall time.
+    regions_reset: int = 0       #: nursery regions reclaimed (minor GCs)
+    major_collections: int = 0   #: full mark-sweep passes triggered
+    gc_wall_ms: float = 0.0      #: host wall time spent collecting
 
     @property
     def size(self) -> int:

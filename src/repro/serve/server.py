@@ -46,20 +46,35 @@ class CuLiServer:
         gpu_config: Optional[GPUDeviceConfig] = None,
         cpu_config: Optional[CPUDeviceConfig] = None,
         fast_path: bool = True,
+        gc_policy: Optional[str] = None,
     ) -> None:
         # The serving layer defaults to the fast-path ablation (interned
-        # symbols, indexed session roots, parse cache): serving is our
-        # infrastructure on top of the paper, so — like the arena's
-        # private-cursor default — it ships the fast mode while
-        # ``fast_path=False`` keeps the paper-literal interpreter for
-        # baseline comparisons. An explicitly passed device config always
-        # wins over the flag.
+        # symbols, indexed session roots, parse cache, generational
+        # region GC): serving is our infrastructure on top of the paper,
+        # so — like the arena's private-cursor default — it ships the
+        # fast mode while ``fast_path=False`` keeps the paper-literal
+        # interpreter (uncharged full mark-sweep included) for baseline
+        # comparisons. ``gc_policy`` overrides just the reclamation
+        # policy of the fast path ("generational" default, "full" for
+        # the charged mark-sweep baseline — see DESIGN.md deviation #7).
+        # An explicitly passed device config always wins over both flags.
         self.fast_path = fast_path
+        if gc_policy is not None and not fast_path:
+            raise ValueError(
+                "gc_policy only configures fast-path serving; "
+                "fast_path=False always runs the literal collector "
+                "(pass an explicit device config to mix modes)"
+            )
         if fast_path:
+            fast_overrides = {} if gc_policy is None else {"gc_policy": gc_policy}
             if gpu_config is None:
-                gpu_config = GPUDeviceConfig(interpreter=InterpreterOptions.fast())
+                gpu_config = GPUDeviceConfig(
+                    interpreter=InterpreterOptions.fast(**fast_overrides)
+                )
             if cpu_config is None:
-                cpu_config = CPUDeviceConfig(interpreter=InterpreterOptions.fast())
+                cpu_config = CPUDeviceConfig(
+                    interpreter=InterpreterOptions.fast(**fast_overrides)
+                )
         self.pool = DevicePool(devices, gpu_config=gpu_config, cpu_config=cpu_config)
         self.scheduler = Scheduler(self.pool, max_batch=max_batch)
         self.stats = ServerStats()

@@ -51,6 +51,14 @@ class ServerStats:
         self.batch_size_sum = 0
         self.batch_size_max = 0
         self.phase_totals = PhaseBreakdown()
+        # GC work across every batch (generational-GC PR): nodes freed,
+        # nursery regions reset, full mark-sweep passes, and the wall
+        # time the simulator spent collecting. Modeled GC device time is
+        # in ``phase_totals.gc_ms``.
+        self.gc_nodes_freed = 0
+        self.gc_regions_reset = 0
+        self.gc_major_collections = 0
+        self.gc_wall_ms = 0.0
         self.per_device: dict[str, DeviceStats] = {}
         #: live queue-depth gauge, installed by the server
         self._queue_depth_fn: Optional[Callable[[], dict[str, int]]] = None
@@ -71,6 +79,10 @@ class ServerStats:
         n_errors = len(result.errors)
         self.errors += n_errors
         self.phase_totals = self.phase_totals.merged_with(result.times)
+        self.gc_nodes_freed += result.nodes_freed
+        self.gc_regions_reset += result.regions_reset
+        self.gc_major_collections += result.major_collections
+        self.gc_wall_ms += result.gc_wall_ms
         dstats = self.per_device[device_id]
         dstats.busy_ms += result.times.total_ms
         dstats.batches += 1
@@ -139,6 +151,14 @@ class ServerStats:
                 "print": self.phase_totals.print_ms,
                 "transfer": self.phase_totals.transfer_ms,
                 "overhead": self.phase_totals.other_ms + self.phase_totals.host_ms,
+                "gc": self.phase_totals.gc_ms,
+            },
+            "gc": {
+                "nodes_freed": self.gc_nodes_freed,
+                "regions_reset": self.gc_regions_reset,
+                "major_collections": self.gc_major_collections,
+                "simulated_ms": self.phase_totals.gc_ms,
+                "wall_ms": self.gc_wall_ms,
             },
             "devices": {
                 device_id: {
@@ -167,6 +187,10 @@ class ServerStats:
             f" max {snap['batches']['max_size']})",
             f"throughput: {snap['throughput_rps']:.1f} req/s simulated"
             f" over {snap['makespan_ms']:.3f} ms makespan",
+            f"gc:       {snap['gc']['nodes_freed']} nodes freed in "
+            f"{snap['gc']['regions_reset']} region resets + "
+            f"{snap['gc']['major_collections']} major collections "
+            f"({snap['gc']['simulated_ms']:.3f} ms simulated)",
         ]
         for device_id, d in snap["devices"].items():
             lines.append(

@@ -24,6 +24,8 @@ class PhaseBreakdown:
     other_ms: float = 0.0     #: per-command handshake / wakeup overhead
     transfer_ms: float = 0.0  #: PCIe up + down (0 on CPU devices)
     host_ms: float = 0.0      #: host-side read/print loop work
+    gc_ms: float = 0.0        #: modeled between-command reclamation (charged
+                              #: GC policies only; always 0 in literal mode)
 
     # Informational sub-components of eval_ms:
     distribute_ms: float = 0.0
@@ -42,8 +44,13 @@ class PhaseBreakdown:
 
     @property
     def total_ms(self) -> float:
-        """End-to-end command time, the paper's Fig. 15 quantity."""
-        return self.kernel_ms + self.other_ms + self.transfer_ms + self.host_ms
+        """End-to-end command time, the paper's Fig. 15 quantity (plus
+        modeled GC time under the charged reclamation policies; the
+        kernel-phase split the paper reports is untouched)."""
+        return (
+            self.kernel_ms + self.other_ms + self.transfer_ms + self.host_ms
+            + self.gc_ms
+        )
 
     def proportions(self) -> dict[str, float]:
         """parse/eval/print shares of kernel time (paper Figs. 17/18)."""
@@ -71,6 +78,7 @@ class PhaseBreakdown:
             other_ms=self.other_ms * factor,
             transfer_ms=self.transfer_ms * factor,
             host_ms=self.host_ms * factor,
+            gc_ms=self.gc_ms * factor,
             distribute_ms=self.distribute_ms * factor,
             worker_ms=self.worker_ms * factor,
             collect_ms=self.collect_ms * factor,
@@ -87,6 +95,7 @@ class PhaseBreakdown:
             other_ms=self.other_ms + other.other_ms,
             transfer_ms=self.transfer_ms + other.transfer_ms,
             host_ms=self.host_ms + other.host_ms,
+            gc_ms=self.gc_ms + other.gc_ms,
             distribute_ms=self.distribute_ms + other.distribute_ms,
             worker_ms=self.worker_ms + other.worker_ms,
             collect_ms=self.collect_ms + other.collect_ms,

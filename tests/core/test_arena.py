@@ -64,6 +64,30 @@ class TestRecycling:
         assert not again.sealed
         assert not again.linked
 
+    def test_freed_node_leaks_no_prior_request_state(self, ctx):
+        """Regression: a node returned to the free list must not carry
+        its previous life's symbol id, parameter list, or subgraph
+        pointers — neither while parked on the free list (where stale
+        pointers would pin dead subgraphs) nor when recycled."""
+        arena = NodeArena(capacity=4)
+        params = arena.alloc(NodeType.N_LIST, ctx).seal()
+        form = arena.alloc(NodeType.N_FORM, ctx)
+        form.set_str("secret-fn").set_params(params)
+        form.sym_id = 42
+        form.first = arena.alloc(NodeType.N_INT, ctx).seal()
+        form.seal()
+        arena.free(form)
+        # Parked on the free list: every value/link field is cleared.
+        assert form.sym_id == -1
+        assert form.params is None
+        assert form.first is None
+        assert form.sval == ""
+        assert not form.sealed
+        recycled = arena.alloc(NodeType.N_SYMBOL, ctx)
+        assert recycled is form
+        assert recycled.sym_id == -1
+        assert recycled.params is None
+
     def test_stats_track_allocs_frees_peak(self, ctx):
         arena = NodeArena(capacity=8)
         nodes = [arena.alloc(NodeType.N_INT, ctx) for _ in range(5)]
