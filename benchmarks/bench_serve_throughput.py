@@ -262,6 +262,41 @@ def test_generational_gc_beats_full_sweep(benchmark, capsys):
     )
 
 
+#: The clean-path fast-path figure measured when fault containment
+#: landed (matches PR 2/3's ~45.5k jobs/s): the perf-smoke floor below
+#: asserts the containment machinery never costs the clean path >2%.
+CLEAN_FASTPATH_JOBS_PER_SEC = 45_465.0
+
+
+def test_fault_containment_overhead(benchmark, capsys):
+    """Perf smoke: fault isolation is free on the clean path.
+
+    The containment machinery (per-job nursery watermarks, contained
+    device-fault handlers, quarantine bookkeeping) is host-side
+    bookkeeping that charges no modeled ops unless a fault actually
+    fires, so the fault-free serving workload must stay within 2% of the
+    figure recorded when containment landed."""
+    makespan_ms, jobs, _ = benchmark.pedantic(run_batched, rounds=1, iterations=1)
+    rps = jobs / (makespan_ms / 1000.0)
+    record_point(
+        benchmark,
+        tenants=TENANTS,
+        commands=jobs,
+        jobs_per_sec=rps,
+        clean_floor=CLEAN_FASTPATH_JOBS_PER_SEC * 0.98,
+    )
+    with capsys.disabled():
+        print(
+            f"\nfault-containment overhead check on {DEVICE}: "
+            f"{rps:,.0f} jobs/s vs {CLEAN_FASTPATH_JOBS_PER_SEC:,.0f} recorded "
+            f"({rps / CLEAN_FASTPATH_JOBS_PER_SEC:.3f}x)"
+        )
+    assert rps >= CLEAN_FASTPATH_JOBS_PER_SEC * 0.98, (
+        f"clean-path serving ({rps:.0f} jobs/s) regressed more than 2% below "
+        f"the pre-containment figure ({CLEAN_FASTPATH_JOBS_PER_SEC:.0f} jobs/s)"
+    )
+
+
 def test_parse_cache_hit_rate(benchmark):
     """Under repeated-workload serving the parse cache absorbs most of
     the master's serial parse scans (the paper's stated bottleneck)."""

@@ -60,6 +60,7 @@ class GCStats:
     major_collections: int = 0   #: full mark-sweep passes
     nodes_freed: int = 0         #: nodes reclaimed by collection
     nodes_promoted: int = 0      #: nursery survivors retagged tenured
+    checkpoint_rollbacks: int = 0  #: mid-batch rollbacks of faulted jobs
     gc_wall_ms: float = 0.0      #: host wall time spent collecting
 
     def as_dict(self) -> dict:
@@ -69,6 +70,7 @@ class GCStats:
             "major_collections": self.major_collections,
             "nodes_freed": self.nodes_freed,
             "nodes_promoted": self.nodes_promoted,
+            "checkpoint_rollbacks": self.checkpoint_rollbacks,
             "gc_wall_ms": self.gc_wall_ms,
         }
 
@@ -267,6 +269,47 @@ class NodeArena:
         if promoted == 0:
             self.gc_stats.pure_resets += 1
         return (freed, promoted)
+
+    def region_watermark(self) -> int:
+        """Checkpoint of the open nursery region's slab (fault isolation).
+
+        Taken before one batched job runs; :meth:`rollback_region` frees
+        everything the job allocated past it. Always 0 when no region is
+        open (non-generational policies take no checkpoints).
+        """
+        return len(self._region_nodes)
+
+    def rollback_region(self, watermark: int) -> tuple[int, int]:
+        """Free the open region's allocations past ``watermark``;
+        returns (freed, survivors).
+
+        The mid-batch containment path for a job killed by a device
+        fault: every node the job allocated that still carries the
+        nursery tag is returned to the free list — eagerly, so the
+        remaining jobs of the same batch transaction can reuse the space
+        (an arena-exhausting job must not starve its co-tenants). Nodes
+        the write barriers already promoted to the tenured generation
+        escaped into a persistent scope and survive, exactly as they
+        survive the end-of-batch :meth:`reset_region`.
+        """
+        region = self._current_region
+        if region <= REGION_TENURED or watermark >= len(self._region_nodes):
+            return (0, 0)
+        freed = 0
+        survivors: list[Node] = []
+        for node in self._region_nodes[watermark:]:
+            if node.region == region:
+                self.free(node)
+                freed += 1
+            elif node.region == REGION_TENURED:
+                # Promoted escapees stay in the slab so the final region
+                # reset still counts them in its promotion statistics.
+                survivors.append(node)
+        del self._region_nodes[watermark:]
+        self._region_nodes.extend(survivors)
+        self.gc_stats.checkpoint_rollbacks += 1
+        self.gc_stats.nodes_freed += freed
+        return (freed, len(survivors))
 
     # -- mark epochs ------------------------------------------------------------
 

@@ -81,6 +81,11 @@ class InterpreterOptions:
     #: Tenured-heap fraction of arena capacity that triggers a major
     #: collection after a minor one (generational policy only).
     gc_major_watermark: float = 0.75
+    #: Test/ops hook: install the ``(inject-fault "kind")`` builtin so
+    #: fault-isolation suites can raise device-level errors from inside
+    #: a request deterministically. Off by default — the builtin table,
+    #: and therefore the literal figures, are untouched unless asked.
+    enable_fault_injection: bool = False
 
     GC_POLICIES = ("literal", "full", "generational")
 
@@ -125,6 +130,10 @@ class Interpreter:
 
             self.parse_cache = ParseCache(self.options.parse_cache_capacity)
         self.registry: BuiltinRegistry = install_all(BuiltinRegistry())
+        if self.options.enable_fault_injection:
+            from .builtins import faults
+
+            faults.register(self.registry)
         self.global_env = Environment(label="global")
         if self.options.indexed_roots:
             self.global_env.enable_index()
@@ -349,6 +358,19 @@ class Interpreter:
         direct interpreter use stays correct."""
         if self.options.gc_policy == "generational":
             self.arena.begin_region()
+
+    def abort_command(self) -> None:
+        """Clean up after a command or batch transaction died on a
+        device-fatal error: reclaim the aborted work's partial trees and
+        — crucially — close the open nursery region even when
+        ``gc_after_command`` is off. Leaving the region open would make
+        the next command silently join the aborted transaction's region,
+        accumulating its garbage until some later reset (the leak this
+        method exists to fix)."""
+        if self.options.gc_after_command:
+            self.collect_garbage()
+        elif self.arena.region_active:
+            self.arena.reset_region()
 
     @property
     def gc_stats(self):

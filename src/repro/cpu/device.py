@@ -17,11 +17,11 @@ import numpy as np
 
 from ..context import CountingContext
 from ..core.interpreter import Interpreter, InterpreterOptions
-from ..errors import DeviceShutdownError, LispError
+from ..errors import DeviceShutdownError, LispError, is_containable_fault
 from ..gpu.hostlink import parens_balanced, sanitize_input, unbalanced_error
 from ..gpu.memory import OutputBuffer, SourceBuffer
 from ..errors import UnbalancedInputError
-from ..ops import Phase
+from ..ops import Op, Phase
 from ..runtime.batch import BatchItem, BatchRequest, BatchResult
 from ..runtime.fidelity import Fidelity
 from ..timing import CommandStats, PhaseBreakdown
@@ -139,8 +139,9 @@ class CPUDevice:
         try:
             output = self.interp.process(source, master, out, env=env)
         except Exception:
-            if self.interp.options.gc_after_command:
-                self.interp.collect_garbage()
+            # Reclaim the failed command's partial trees and close the
+            # open nursery region even when gc_after_command is off.
+            self.interp.abort_command()
             raise
 
         freed, gc_ms, _, _, _ = self._run_gc()
@@ -181,6 +182,12 @@ class CPUDevice:
         wave wall time is the slowest request in the wave. The
         condition-variable wake (``command_overhead_us``) is paid once
         per batch instead of once per command.
+
+        Failure containment mirrors the GPU path: Lisp-level errors and
+        containable device faults (arena exhaustion, per-job livelock)
+        kill only their request — with the request's nursery allocations
+        rolled back to a per-request watermark — while device-fatal
+        errors abort the batch but leave the device usable.
         """
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
@@ -214,6 +221,10 @@ class CPUDevice:
                 out = OutputBuffer(capacity=1 << 20)
                 env = req.env if req.env is not None else self.interp.global_env
                 nested_wall0 = self.engine.worker_wall_cycles
+                # Fault-isolation checkpoint: a request killed by a
+                # containable device fault rolls its nursery allocations
+                # back so the rest of the wave can reuse the space.
+                checkpoint = self.interp.arena.region_watermark()
                 try:
                     if not parens_balanced(text):
                         raise unbalanced_error(text)
@@ -226,6 +237,13 @@ class CPUDevice:
                 except UnbalancedInputError as exc:
                     errors[i] = exc
                     outputs[i] = f"error: {exc}"
+                except Exception as exc:
+                    if not is_containable_fault(exc):
+                        raise  # device-fatal: abort the batch
+                    errors[i] = exc
+                    outputs[i] = f"error: {exc}"
+                    freed, _ = self.interp.arena.rollback_region(checkpoint)
+                    rctx.charge(Op.NODE_WRITE, freed)
                 nested_wall = self.engine.worker_wall_cycles - nested_wall0
                 for phase in (Phase.PARSE, Phase.EVAL, Phase.PRINT):
                     row = np.asarray(rctx.counts.rows[phase], dtype=np.float64)
@@ -233,10 +251,10 @@ class CPUDevice:
                 phase_cycles[i][Phase.EVAL] += nested_wall
                 job_cycles[i] = sum(phase_cycles[i].values())
         except Exception:
-            # Device-level failure (e.g. arena exhaustion): reclaim the
-            # batch's partial trees, matching submit's failure path.
-            if self.interp.options.gc_after_command:
-                self.interp.collect_garbage()
+            # Device-fatal failure: reclaim the batch's partial trees and
+            # close the open nursery region, matching submit's path (a
+            # region left open would leak into the next transaction).
+            self.interp.abort_command()
             raise
 
         # Greedy wave schedule: hw_threads requests run concurrently; each

@@ -63,7 +63,18 @@ class ImmutabilityError(LispError):
 
 
 class DeviceError(CuLiError):
-    """Base class for simulated-device failures."""
+    """Base class for simulated-device failures.
+
+    ``containable`` classifies the failure for the batched serving layer
+    (fault isolation): a *containable* fault is scoped to the one job
+    that triggered it — the device kills that job, reclaims its partial
+    allocations, and the rest of the batch continues. A non-containable
+    fault (the device shut down, the host/device buffer protocol
+    corrupted) aborts the whole batch transaction; the device must still
+    come back usable.
+    """
+
+    containable = False
 
 
 class ArenaExhaustedError(DeviceError):
@@ -73,6 +84,8 @@ class ArenaExhaustedError(DeviceError):
     reasoned by the organization of the nodes used for storing objects."
     """
 
+    containable = True
+
 
 class LivelockError(DeviceError):
     """Warp-divergence livelock detected.
@@ -80,7 +93,14 @@ class LivelockError(DeviceError):
     Without the per-block synchronization flag (paper Alg. 1, Fig. 13),
     lockstep threads that never receive work spin forever and block their
     warp siblings from completing.
+
+    Containment is positional, not purely type-based: a livelock raised
+    while one job evaluates (e.g. a nested ``|||`` ablation) kills just
+    that job, while the batch-level engine-configuration livelocks are
+    raised before any job runs and therefore abort the whole batch.
     """
+
+    containable = True
 
 
 class DeviceShutdownError(DeviceError):
@@ -89,6 +109,14 @@ class DeviceShutdownError(DeviceError):
 
 class MemoryFaultError(DeviceError):
     """An out-of-bounds access on simulated global memory."""
+
+    containable = True
+
+
+def is_containable_fault(exc: BaseException) -> bool:
+    """True when a per-job handler may contain ``exc`` instead of
+    aborting its batch (see :class:`DeviceError`)."""
+    return isinstance(exc, DeviceError) and exc.containable
 
 
 # ---------------------------------------------------------------------------

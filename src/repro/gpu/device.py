@@ -37,7 +37,7 @@ from ..gpu.memory import GlobalMemory, OutputBuffer, SourceBuffer
 from ..gpu.postbox import PostboxArray
 from ..gpu.specs import GPUSpec
 from ..core.nodes import NODE_BYTES
-from ..errors import HostProtocolError, LispError
+from ..errors import HostProtocolError, LispError, is_containable_fault
 from ..ops import Op, Phase
 from ..runtime.batch import BatchItem, BatchRequest, BatchResult
 from ..runtime.fidelity import Fidelity
@@ -229,10 +229,10 @@ class GPUDevice:
             output = self.interp.process(source, master, out, env=env)
         except Exception:
             # The device releases the buffer so the REPL stays alive,
-            # and reclaims the failed command's partial trees.
+            # and reclaims the failed command's partial trees (closing
+            # the open nursery region even when gc_after_command is off).
             self.cmdbuf.dev_sync = 0
-            if self.interp.options.gc_after_command:
-                self.interp.collect_garbage()
+            self.interp.abort_command()
             raise
         self.cmdbuf.device_write_result(output)
 
@@ -281,9 +281,17 @@ class GPUDevice:
         The per-command handshake, the PCIe latency, and the distribution
         overhead are paid once per batch instead of once per command.
 
-        Lisp-level errors are isolated per request; device-level errors
-        abort the batch (the buffer is released and garbage collected,
-        matching :meth:`submit`).
+        Failure containment (fault isolation): Lisp-level errors and
+        *containable* device faults — arena exhaustion, a livelock
+        confined to one job's evaluation (see
+        :class:`~repro.errors.DeviceError`) — are isolated per request:
+        the faulting job is killed, its nursery allocations are rolled
+        back to a per-job watermark, and the remaining runnable jobs
+        finish their service round. Only device-fatal errors (shutdown,
+        buffer-protocol corruption, batch-level engine misconfiguration)
+        abort the transaction; the buffer is then released and the open
+        nursery region closed, matching :meth:`submit`, so the device
+        serves subsequent batches.
 
         A batch whose combined payload exceeds the command buffer is
         transparently split into several capacity-bounded buffer
@@ -335,6 +343,27 @@ class GPUDevice:
                 payload += size
         return [chunk for chunk in chunks if chunk]
 
+    @staticmethod
+    def _payload_base_offsets(
+        texts: Sequence[str], pre_errors: dict[int, Exception]
+    ) -> list[int]:
+        """Each request's base *byte* offset inside the packed payload.
+
+        The payload joins the accepted requests with one separator byte,
+        so request ``i`` starts at the sum of its predecessors' encoded
+        sizes (refused requests carry no payload and keep their
+        predecessor's offset). Offsets must advance in bytes — the same
+        unit the packing sizes with — or non-ASCII requests' simulated
+        input addresses drift off their true buffer positions.
+        """
+        offsets: list[int] = []
+        offset = 0
+        for i, text in enumerate(texts):
+            offsets.append(offset)
+            if i not in pre_errors:
+                offset += len(text.encode()) + 1  # join separator
+        return offsets
+
     def _submit_batch_txn(
         self, requests: list[BatchRequest], texts: list[str]
     ) -> BatchResult:
@@ -379,7 +408,7 @@ class GPUDevice:
         try:
             # ---- master: serial parse scan over every request (PARSE) ----
             master.set_phase(Phase.PARSE)
-            offset = 0
+            base_offsets = self._payload_base_offsets(texts, pre_errors)
             for i, (req, text) in enumerate(zip(requests, texts)):
                 out = OutputBuffer(
                     base=self.output_region.base, capacity=self.cmdbuf.capacity
@@ -391,15 +420,26 @@ class GPUDevice:
                     jobs.append(job)
                     continue
                 c0 = self.master_cycles(Phase.PARSE)
+                checkpoint = self.interp.arena.region_watermark()
                 try:
                     job.forms = self.interp.parse_source(
-                        SourceBuffer(text, base=self.input_region.base + offset),
+                        SourceBuffer(
+                            text, base=self.input_region.base + base_offsets[i]
+                        ),
                         master,
                     )
                 except LispError as exc:
                     job.error = exc
+                except Exception as exc:
+                    if not is_containable_fault(exc):
+                        raise
+                    # A request whose parse tree alone exhausts the arena
+                    # is killed without poisoning its co-tenants; its
+                    # partial tree is rolled back so they can allocate.
+                    job.error = exc
+                    freed, _ = self.interp.arena.rollback_region(checkpoint)
+                    master.charge(Op.NODE_WRITE, freed)
                 parse_cycles[i] = self.master_cycles(Phase.PARSE) - c0
-                offset += len(text) + 1
                 jobs.append(job)
 
             # ---- shared service rounds: workers evaluate tenants (EVAL) ----
@@ -426,11 +466,13 @@ class GPUDevice:
                 print_cycles[i] = self.master_cycles(Phase.PRINT) - c0
             master.set_phase(Phase.OTHER)
         except Exception:
-            # Device-level failure: release the buffer so the REPL stays
-            # alive and reclaim the batch's partial trees.
+            # Device-fatal failure: release the buffer so the REPL stays
+            # alive and reclaim the batch's partial trees. abort_command
+            # also closes the open nursery region when gc_after_command
+            # is off — otherwise the next transaction would silently
+            # join this aborted batch's region and inherit its garbage.
             self.cmdbuf.dev_sync = 0
-            if self.interp.options.gc_after_command:
-                self.interp.collect_garbage()
+            self.interp.abort_command()
             raise
 
         # One downstream transaction returns every tenant's output.

@@ -31,7 +31,7 @@ import numpy as np
 from ..context import CountingContext, ExecContext, NullContext
 from ..core.interpreter import sequential_engine
 from ..core.nodes import Node, NodeType
-from ..errors import LispError, LivelockError
+from ..errors import LispError, LivelockError, is_containable_fault
 from ..ops import Op, Phase
 from ..runtime.fidelity import Fidelity, group_rows, task_signature
 
@@ -314,10 +314,17 @@ class GPUParallelEngine:
         of its jobs' lane times; the round's wall time is the max over
         warps.
 
-        Lisp-level failures are confined to their job (``job.error``);
-        device-level failures propagate. Returns per-job lane cycles (the
-        request's own eval time). Wall/distribute/collect/spin cycles
-        accumulate on the engine exactly like ``|||`` rounds.
+        Failure containment: Lisp-level failures and *containable*
+        device faults (arena exhaustion, a livelock inside one job's
+        evaluation — see :class:`~repro.errors.DeviceError`) are confined
+        to their job (``job.error``), with the faulted job's nursery
+        allocations rolled back to a per-job watermark so co-tenants can
+        reuse the space. Device-fatal errors (shutdown, protocol
+        corruption) and the batch-level engine-configuration livelocks
+        raised before any job runs still abort the transaction. Returns
+        per-job lane cycles (the request's own eval time).
+        Wall/distribute/collect/spin cycles accumulate on the engine
+        exactly like ``|||`` rounds.
         """
         dev = self.device
         grid = dev.grid
@@ -393,6 +400,10 @@ class GPUParallelEngine:
                     # mode charges the same appends to its one context).
                     job.out.bind(wctx)
                     interp.push_output(job.out)
+                    # Fault-isolation checkpoint: if this job dies on a
+                    # containable device fault, its nursery allocations
+                    # past here are reclaimed before the next job runs.
+                    checkpoint = interp.arena.region_watermark()
                     try:
                         job.results = [
                             interp.eval_node(form, job.env, wctx, 0)
@@ -401,6 +412,18 @@ class GPUParallelEngine:
                     except LispError as exc:
                         job.error = exc
                         job.results = None
+                    except Exception as exc:
+                        if not is_containable_fault(exc):
+                            raise  # device-fatal: abort the transaction
+                        # Contained device fault: kill this job only.
+                        # Write-barrier promotions already rescued any
+                        # escaped survivors; everything else the job
+                        # allocated is rolled back so the remaining jobs
+                        # of the batch can reuse the space.
+                        job.error = exc
+                        job.results = None
+                        freed, _ = interp.arena.rollback_region(checkpoint)
+                        wctx.charge(Op.NODE_WRITE, freed)
                     finally:
                         interp.pop_output()
                     wctx.charge(Op.BARRIER)

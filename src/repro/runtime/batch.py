@@ -35,10 +35,12 @@ class BatchRequest:
 class BatchItem:
     """Outcome of one request within a batch.
 
-    Lisp-level failures (parse errors, evaluation errors) are isolated
-    per request: ``error`` carries the exception and ``stats.output`` the
+    Lisp-level failures (parse errors, evaluation errors) *and*
+    containable device faults (arena exhaustion, a livelock confined to
+    one job — see :class:`~repro.errors.DeviceError`) are isolated per
+    request: ``error`` carries the exception and ``stats.output`` the
     rendered message, while the rest of the batch completes normally.
-    Device-level failures abort the whole batch.
+    Only device-fatal failures abort the whole batch.
     """
 
     request: BatchRequest
@@ -48,6 +50,14 @@ class BatchItem:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def faulted(self) -> bool:
+        """True when this request was killed by a contained device fault
+        (as opposed to an ordinary Lisp-level error)."""
+        from ..errors import DeviceError
+
+        return isinstance(self.error, DeviceError)
 
 
 @dataclass
@@ -84,3 +94,8 @@ class BatchResult:
     @property
     def errors(self) -> list[Exception]:
         return [item.error for item in self.items if item.error is not None]
+
+    @property
+    def faults(self) -> list[Exception]:
+        """Contained device faults only (a subset of :attr:`errors`)."""
+        return [item.error for item in self.items if item.faulted]

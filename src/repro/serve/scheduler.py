@@ -13,12 +13,25 @@ Dispatch hands the batch to ``device.submit_batch``, which executes it
 as shared ``|||`` service rounds on the GPU (one handshake, one PCIe
 transaction, tenants evaluated concurrently by worker warps) or as
 pthread waves on the CPU.
+
+Fault isolation: containable device faults (arena exhaustion, a per-job
+livelock) come back from ``submit_batch`` as per-item errors — the
+faulting ticket resolves with its error and every co-tenant's ticket
+resolves normally. A *batch-fatal* failure (device shutdown, protocol
+corruption) aborts the transaction without telling us which request
+poisoned it, so the scheduler quarantines: every ticket of the failed
+batch is requeued to run **alone**, and a quarantined ticket whose solo
+batch also fails fatally is resolved with the error instead of being
+retried again. ``drain`` therefore always terminates with zero pending
+tickets, and the pool is never wedged by one poisonous request.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..errors import CuLiError
+from ..gpu.hostlink import sanitize_input
 from ..runtime.batch import BatchRequest
 from ..timing import CommandStats
 
@@ -41,15 +54,29 @@ class Scheduler:
 
     # -- batch formation ----------------------------------------------------------
 
+    @staticmethod
+    def payload_size(text: str) -> int:
+        """One request's contribution to a batch payload, in bytes.
+
+        Sized exactly as the device sizes it: the *sanitized* text's
+        encoded length plus one join-separator byte. Sizing the raw text
+        instead (the old behaviour) disagrees with the device whenever
+        sanitization strips or collapses characters, splitting batches
+        the device would happily run in one buffer transaction.
+        """
+        return len(sanitize_input(text).encode()) + 1
+
     def form_batch(self, pdev: "PooledDevice") -> list["Ticket"]:
         """Pop up to ``max_batch`` queued tickets, one per session, FIFO.
 
         Tickets whose session already has a ticket in this batch stay
         queued (in order) for a later batch. On devices with a bounded
-        command buffer the combined payload stays within capacity, so one
-        batch's upload never fails on size (a *single* over-capacity
+        command buffer the combined payload stays within capacity —
+        sized in sanitized bytes, matching the device's own packing — so
+        one batch's upload never fails on size (a *single* over-capacity
         command still joins a batch alone and is refused per-request by
-        the device's upload gate)."""
+        the device's upload gate). Quarantined tickets (survivors of a
+        batch-fatal failure) always run alone."""
         batch: list["Ticket"] = []
         sessions_in_batch: set[str] = set()
         deferred: list["Ticket"] = []
@@ -59,11 +86,19 @@ class Scheduler:
         payload = 0
         while queue and len(batch) < self.max_batch:
             ticket = queue.popleft()
+            if ticket.quarantined:
+                if batch:
+                    # A quarantined ticket never shares a batch: leave it
+                    # at the head for the next (solo) pass.
+                    queue.appendleft(ticket)
+                else:
+                    batch.append(ticket)
+                break
             sid = ticket.session.session_id
             if sid in sessions_in_batch:
                 deferred.append(ticket)
                 continue
-            size = len(ticket.text.encode()) + 1  # join separator
+            size = self.payload_size(ticket.text)
             if capacity is not None and batch and payload + size > capacity:
                 queue.appendleft(ticket)  # full: keep for the next batch
                 break
@@ -81,7 +116,18 @@ class Scheduler:
         self, pdev: "PooledDevice", batch: list["Ticket"],
         stats: Optional["ServerStats"] = None,
     ) -> None:
-        """Execute one batch on one device and resolve its tickets."""
+        """Execute one batch on one device and resolve its tickets.
+
+        Contained failures (Lisp errors, containable device faults) come
+        back as per-item errors and resolve only their own ticket. A
+        batch-fatal *device* failure (any :class:`~repro.errors.CuLiError`)
+        is absorbed here — never re-raised — via the quarantine policy
+        (see :meth:`_handle_fatal_batch`), so one poison request cannot
+        wedge the queue or poison co-tenants' tickets. Host-side
+        programming errors (non-CuLi exceptions) are not device faults:
+        the tickets are resolved so no tenant hangs, then the bug
+        propagates loudly.
+        """
         if not batch:
             return
         requests = [
@@ -94,13 +140,17 @@ class Scheduler:
         ]
         try:
             result = pdev.device.submit_batch(requests)
+        except CuLiError as exc:
+            self._handle_fatal_batch(pdev, batch, exc, stats)
+            return
         except Exception as exc:
-            # Device-level failure: the tickets are already popped, so
-            # resolve them with the error before surfacing it — a lost
-            # ticket would hang its tenant forever.
+            # A simulator bug, not a modeled device failure: resolve the
+            # popped tickets (a lost ticket would hang its tenant) and
+            # let the crash surface instead of masking it as quarantine.
             for ticket in batch:
                 ticket.error = exc
                 ticket.stats = CommandStats(output=f"error: {exc}")
+                ticket.session.history.append(ticket.stats)
             raise
         for ticket, item in zip(batch, result.items):
             ticket.stats = item.stats
@@ -109,12 +159,59 @@ class Scheduler:
         if stats is not None:
             stats.record_batch(pdev.device_id, result)
 
+    def _handle_fatal_batch(
+        self,
+        pdev: "PooledDevice",
+        batch: list["Ticket"],
+        exc: Exception,
+        stats: Optional["ServerStats"],
+    ) -> None:
+        """Quarantine policy for a batch the device aborted wholesale.
+
+        The device cannot tell us which request was at fault, so a
+        multi-request batch is split: every ticket goes back to the
+        *front* of the queue (original order preserved) marked
+        quarantined, to be retried in a solo batch. A ticket that fails
+        fatally *alone* — it ran solo already, or was already
+        quarantined — is the poison itself: it resolves with the error
+        (recorded in stats and the session history, so bookkeeping never
+        diverges from what the tenant observed) and is not retried.
+
+        Retry semantics are **at-least-once**: a co-tenant job that
+        finished evaluating before the batch died may have promoted
+        bindings into its persistent session root (the abort only resets
+        the nursery), and its solo retry re-executes the command against
+        that state. A non-idempotent command (``(setq n (+ n 1))``) can
+        therefore observe its own partial first attempt after a
+        batch-fatal abort — the documented trade for never losing or
+        wedging tickets (DESIGN.md deviation #8).
+        """
+        if stats is not None:
+            stats.record_batch_fatal(pdev.device_id)
+        retried = [t for t in batch if len(batch) > 1 and not t.quarantined]
+        poisoned = [t for t in batch if t not in retried]
+        for ticket in poisoned:
+            ticket.error = exc
+            ticket.stats = CommandStats(output=f"error: {exc}")
+            ticket.session.history.append(ticket.stats)
+        if stats is not None and poisoned:
+            stats.record_poisoned(pdev.device_id, len(poisoned))
+        for ticket in reversed(retried):
+            ticket.quarantined = True
+            pdev.queue.appendleft(ticket)
+        if stats is not None and retried:
+            stats.record_quarantined(len(retried))
+
     def drain(self, stats: Optional["ServerStats"] = None) -> int:
         """Serve every queued request; returns the number of batches run.
 
         Each pass forms one batch per device (devices run concurrently in
         simulated time), repeating until all queues are empty — a session
         with k queued commands therefore takes k batches, in order.
+        Always terminates with zero pending tickets: a batch-fatal device
+        failure converts its tickets into solo quarantine retries, and a
+        quarantined ticket that fails again resolves with its error
+        instead of looping.
         """
         batches = 0
         while self.pool.pending:

@@ -106,20 +106,26 @@ class CuLiServer:
         Queued-but-unserved tickets are cancelled first (resolved with an
         error): the environment stops being a GC root on release, so
         running them later would evaluate against collected bindings.
+        Cancellations are recorded in ``ServerStats`` so the
+        enqueued/completed/cancelled accounting stays balanced.
         """
         if self.sessions.pop(session.session_id, None) is None:
             return
         pdev = self.pool[session.device_id]
         remaining = deque()
+        cancelled = 0
         for ticket in pdev.queue:
             if ticket.session is session:
                 ticket.error = RuntimeError(
                     f"session {session.session_id} closed before execution"
                 )
                 ticket.stats = CommandStats(output=f"error: {ticket.error}")
+                cancelled += 1
             else:
                 remaining.append(ticket)
         pdev.queue = remaining
+        if cancelled:
+            self.stats.record_cancelled(cancelled)
         pdev.device.release_session_env(session.env)
         self.pool.session_closed(session.device_id)
 

@@ -25,13 +25,19 @@ __all__ = ["Ticket", "TenantSession"]
 class Ticket:
     """A pending request: filled in when its batch executes."""
 
-    __slots__ = ("session", "text", "stats", "error")
+    __slots__ = ("session", "text", "stats", "error", "quarantined")
 
     def __init__(self, session: "TenantSession", text: str) -> None:
         self.session = session
         self.text = text
         self.stats: Optional[CommandStats] = None
         self.error: Optional[Exception] = None
+        #: Set by the scheduler when this ticket survived a batch-fatal
+        #: device failure: it is retried *alone* (a batch of one), and if
+        #: that solo run fails fatally too the ticket is resolved with
+        #: the error instead of being retried again — a deterministically
+        #: poisonous request can never wedge the queue.
+        self.quarantined = False
 
     @property
     def done(self) -> bool:

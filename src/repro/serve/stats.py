@@ -32,6 +32,7 @@ class DeviceStats:
     errors: int = 0
     jobs: int = 0            #: worker jobs (service + nested ``|||``)
     rounds: int = 0          #: shared distribution rounds
+    faults: int = 0          #: device faults (contained + batch-fatal)
 
 
 class ServerStats:
@@ -46,8 +47,16 @@ class ServerStats:
     def __init__(self) -> None:
         self.requests_enqueued = 0
         self.requests_completed = 0
+        self.requests_cancelled = 0  #: enqueued, then cancelled (session close)
         self.errors = 0
         self.batches = 0
+        # Fault-isolation counters: device faults contained per request,
+        # batch-fatal device failures, solo quarantine retries, and
+        # tickets resolved as poison after quarantine.
+        self.faults_contained = 0
+        self.faults_batch_fatal = 0
+        self.quarantine_retries = 0
+        self.poisoned_requests = 0
         self.batch_size_sum = 0
         self.batch_size_max = 0
         self.phase_totals = PhaseBreakdown()
@@ -71,6 +80,14 @@ class ServerStats:
     def record_enqueue(self, n: int = 1) -> None:
         self.requests_enqueued += n
 
+    def record_cancelled(self, n: int = 1) -> None:
+        """Queued tickets cancelled before execution (session close).
+
+        Balances the queue accounting: every enqueued request ends up
+        completed, cancelled, or still pending — never silently lost.
+        """
+        self.requests_cancelled += n
+
     def record_batch(self, device_id: str, result: "BatchResult") -> None:
         self.batches += 1
         self.batch_size_sum += result.size
@@ -78,6 +95,8 @@ class ServerStats:
         self.requests_completed += result.size
         n_errors = len(result.errors)
         self.errors += n_errors
+        n_faults = len(result.faults)
+        self.faults_contained += n_faults
         self.phase_totals = self.phase_totals.merged_with(result.times)
         self.gc_nodes_freed += result.nodes_freed
         self.gc_regions_reset += result.regions_reset
@@ -90,6 +109,29 @@ class ServerStats:
         dstats.errors += n_errors
         dstats.jobs += result.jobs
         dstats.rounds += result.rounds
+        dstats.faults += n_faults
+
+    def record_batch_fatal(self, device_id: str) -> None:
+        """A whole batch transaction aborted on a device-fatal error."""
+        self.faults_batch_fatal += 1
+        self.per_device[device_id].faults += 1
+
+    def record_quarantined(self, n: int) -> None:
+        """Tickets requeued for solo retry after a batch-fatal failure."""
+        self.quarantine_retries += n
+
+    def record_poisoned(self, device_id: str, n: int) -> None:
+        """Tickets resolved with a batch-fatal error (poison requests).
+
+        They *were* served — with an error — so they count as completed
+        (and as errors): the enqueued/completed/cancelled balance holds.
+        """
+        self.poisoned_requests += n
+        self.requests_completed += n
+        self.errors += n
+        dstats = self.per_device[device_id]
+        dstats.requests += n
+        dstats.errors += n
 
     # -- derived quantities -------------------------------------------------------
 
@@ -136,7 +178,14 @@ class ServerStats:
             "requests": {
                 "enqueued": self.requests_enqueued,
                 "completed": self.requests_completed,
+                "cancelled": self.requests_cancelled,
                 "errors": self.errors,
+            },
+            "faults": {
+                "contained": self.faults_contained,
+                "batch_fatal": self.faults_batch_fatal,
+                "quarantine_retries": self.quarantine_retries,
+                "poisoned": self.poisoned_requests,
             },
             "batches": {
                 "count": self.batches,
@@ -169,6 +218,7 @@ class ServerStats:
                     "requests": d.requests,
                     "jobs": d.jobs,
                     "rounds": d.rounds,
+                    "faults": d.faults,
                     "utilization": self.utilization()[device_id],
                 }
                 for device_id, d in self.per_device.items()
@@ -181,7 +231,12 @@ class ServerStats:
         snap = self.snapshot()
         lines = [
             f"requests: {snap['requests']['completed']}/{snap['requests']['enqueued']}"
-            f" completed, {snap['requests']['errors']} errors",
+            f" completed, {snap['requests']['cancelled']} cancelled,"
+            f" {snap['requests']['errors']} errors",
+            f"faults:   {snap['faults']['contained']} contained, "
+            f"{snap['faults']['batch_fatal']} batch-fatal "
+            f"({snap['faults']['quarantine_retries']} quarantine retries, "
+            f"{snap['faults']['poisoned']} poisoned)",
             f"batches:  {snap['batches']['count']}"
             f" (mean {snap['batches']['mean_size']:.1f},"
             f" max {snap['batches']['max_size']})",
