@@ -1,0 +1,152 @@
+"""Elastic rebalancing — migration-backed load levelling vs static pinning.
+
+The rebalancing claim: when tenant load is skewed (a few heavy tenants
+queue several times more commands than the rest) and placement happened
+to cluster the heavy tenants on one device, migrating sessions between
+batch rounds levels the queues and wins jobs per simulated second over
+PR 1's pin-for-life placement — even though every migration's snapshot
+bytes are charged as modeled host<->device transfer time on both links.
+The second claim is the safety rail: on an already-balanced load the
+rebalancer never fires, so turning it on costs (almost) nothing.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rebalance.py -q
+"""
+
+from __future__ import annotations
+
+from repro import CuLiServer
+
+from conftest import record_point
+
+DEVICE = "gtx1080"
+N_DEVICES = 2
+TENANTS = 8
+ROUNDS = 3
+#: Commands a heavy tenant queues per round, vs 1 for a light tenant —
+#: the "4x-skewed load" of the acceptance criterion.
+SKEW = 4
+DEFINE = (
+    "(defun loop-sum (n acc) "
+    "(if (< n 1) acc (loop-sum (- n 1) (+ acc n))))"
+)
+
+
+def command_for(i: int, r: int, c: int) -> str:
+    """One serving command: a parse-dominated request (the paper's
+    serial bottleneck — the master scans each batch's texts one after
+    another, so a device's round time grows with the requests it
+    carries). Texts vary per (tenant, round, command) so the parse
+    cache cannot collapse them.
+    """
+    items = " ".join(str((i + r + c + k) % 97) for k in range(112))
+    return f"(+ (loop-sum {4 + i % 3} 0) (length (list {items})))"
+
+
+def run_serving(skewed: bool, rebalance: bool) -> tuple[float, int, "CuLiServer"]:
+    """Queue the workload and drain it once; returns (makespan ms, jobs,
+    server).
+
+    Tenants open in an order that clusters the heavy ones on device #0
+    under the pool's alternating least-loaded placement — the worst case
+    static pinning can produce and the one rebalancing must fix.
+    """
+    server = CuLiServer(
+        devices=[DEVICE] * N_DEVICES, max_batch=TENANTS, rebalance=rebalance
+    )
+    tenants = [server.open_session(f"t{i}") for i in range(TENANTS)]
+    for tenant in tenants:
+        tenant.submit(DEFINE)
+    server.flush()
+    makespan0 = server.stats.simulated_makespan_ms
+    done0 = server.stats.requests_completed
+    for r in range(ROUNDS):
+        for i, tenant in enumerate(tenants):
+            # Even indices sit on device #0; make them the heavy ones.
+            heavy = i % 2 == 0
+            n_commands = SKEW if (skewed and heavy) else 1
+            for c in range(n_commands):
+                tenant.submit(command_for(i, r, c))
+    server.flush()
+    makespan = server.stats.simulated_makespan_ms - makespan0
+    jobs = server.stats.requests_completed - done0
+    server.close()
+    return makespan, jobs, server
+
+
+def test_rebalancing_beats_static_pinning(benchmark, capsys):
+    """The acceptance claim: >= 1.2x jobs/s over static pinning under
+    4x-skewed tenant load clustered on one device."""
+
+    def compare():
+        static_ms, static_jobs, _ = run_serving(skewed=True, rebalance=False)
+        reb_ms, reb_jobs, server = run_serving(skewed=True, rebalance=True)
+        return static_ms, static_jobs, reb_ms, reb_jobs, server
+
+    static_ms, static_jobs, reb_ms, reb_jobs, server = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert static_jobs == reb_jobs
+    static_rps = static_jobs / (static_ms / 1000.0)
+    reb_rps = reb_jobs / (reb_ms / 1000.0)
+    speedup = reb_rps / static_rps
+    migrations = server.stats.sessions_migrated
+    record_point(
+        benchmark,
+        tenants=TENANTS,
+        devices=N_DEVICES,
+        skew=SKEW,
+        static_jobs_per_sec=static_rps,
+        rebalanced_jobs_per_sec=reb_rps,
+        migrations=migrations,
+        migration_transfer_ms=server.stats.migration_transfer_ms,
+        speedup=speedup,
+    )
+    with capsys.disabled():
+        print(
+            f"\nrebalancing on {N_DEVICES}x {DEVICE} ({TENANTS} tenants, "
+            f"{SKEW}x skew): static {static_rps:,.0f} jobs/s -> "
+            f"rebalanced {reb_rps:,.0f} jobs/s ({speedup:.2f}x, "
+            f"{migrations} migrations)"
+        )
+    assert migrations > 0, "the skewed workload must actually trigger moves"
+    assert speedup >= 1.2, (
+        f"rebalancing ({reb_rps:.0f} jobs/s) must beat static pinning "
+        f"({static_rps:.0f} jobs/s) by >= 1.2x under skewed load"
+    )
+
+
+def test_rebalancer_overhead_when_balanced(benchmark, capsys):
+    """The safety claim: under already-balanced load the rebalancer
+    performs no migrations and costs < 2% of makespan."""
+
+    def compare():
+        static_ms, jobs, _ = run_serving(skewed=False, rebalance=False)
+        reb_ms, reb_jobs, server = run_serving(skewed=False, rebalance=True)
+        return static_ms, jobs, reb_ms, reb_jobs, server
+
+    static_ms, jobs, reb_ms, reb_jobs, server = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert jobs == reb_jobs
+    overhead = reb_ms / static_ms - 1.0
+    record_point(
+        benchmark,
+        tenants=TENANTS,
+        devices=N_DEVICES,
+        balanced_static_ms=static_ms,
+        balanced_rebalance_ms=reb_ms,
+        migrations=server.stats.sessions_migrated,
+        overhead=overhead,
+    )
+    with capsys.disabled():
+        print(
+            f"\nrebalancer overhead on balanced load: {static_ms:.3f} ms -> "
+            f"{reb_ms:.3f} ms ({overhead * 100:+.2f}%)"
+        )
+    assert server.stats.sessions_migrated == 0
+    assert overhead < 0.02, (
+        f"idle rebalancer added {overhead * 100:.2f}% to a balanced "
+        "workload's makespan (must stay under 2%)"
+    )

@@ -48,6 +48,16 @@ def main() -> None:
         print("bob broken =>", broken.output)
         print()
 
+        # -- live migration: the heap follows the session ----------------------
+        moved = alice.migrate()
+        print(
+            f"alice migrated {moved.source} -> {moved.dest}: "
+            f"{moved.nodes} heap nodes, {moved.nbytes} B, "
+            f"{moved.transfer_ms:.4f} ms modeled transfer"
+        )
+        print("alice (f 6) =>", alice.eval("(f 6)"), " (still her square fn)")
+        print()
+
         # -- the stats surface -------------------------------------------------
         print(server.stats.render())
         print()
@@ -63,6 +73,18 @@ def main() -> None:
             f"served {completed} requests in {makespan:.3f} ms simulated; "
             f"{completed} sequential trivial commands on one session "
             f"would take {sequential_ms:.3f} ms of handshakes alone"
+        )
+        print()
+
+        # -- whole-fleet persistence ------------------------------------------
+        saved = server.save()
+        print(f"saved fleet: {len(saved['sessions'])} session snapshots")
+
+    with CuLiServer(devices=["gtx1080"]) as revived:
+        sessions = revived.restore(saved)
+        print(
+            "restored alice on a fresh server:",
+            "(f 7) =>", sessions["alice"].eval("(f 7)"),
         )
 
 

@@ -29,9 +29,25 @@ from .errors import (
     UnknownDeviceError,
 )
 from .ops import CostTable, Op, OpCounts, Phase
-from .runtime import CuLiSession, Fidelity, available_devices, device_for
+from .runtime import (
+    CuLiSession,
+    Fidelity,
+    HeapSnapshot,
+    available_devices,
+    device_for,
+    restore_env,
+    snapshot_env,
+)
 from .runtime.batch import BatchItem, BatchRequest, BatchResult
-from .serve import CuLiServer, DevicePool, Scheduler, ServerStats, TenantSession
+from .serve import (
+    CuLiServer,
+    DevicePool,
+    MigrationRecord,
+    Rebalancer,
+    Scheduler,
+    ServerStats,
+    TenantSession,
+)
 from .runtime.workloads import (
     FIB_DEFUN,
     THREAD_SWEEP,
@@ -55,10 +71,16 @@ __all__ = [
     "TenantSession",
     "DevicePool",
     "Scheduler",
+    "Rebalancer",
     "ServerStats",
+    "MigrationRecord",
     "BatchRequest",
     "BatchItem",
     "BatchResult",
+    # heap snapshots / migration
+    "HeapSnapshot",
+    "snapshot_env",
+    "restore_env",
     # interpreter
     "Interpreter",
     "InterpreterOptions",

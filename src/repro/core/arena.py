@@ -128,6 +128,18 @@ class NodeArena:
     def free_count(self) -> int:
         return self.capacity - self._used
 
+    @property
+    def tenured_count(self) -> int:
+        """Live nodes in the tenured generation — the retained heap a
+        migration restore would land next to. O(1) between commands
+        (used == tenured when no nursery is open); while a region is
+        open, the open region's slab is subtracted."""
+        region = self._current_region
+        if region <= REGION_TENURED:
+            return self._used
+        nursery = sum(1 for node in self._region_nodes if node.region == region)
+        return self._used - nursery
+
     # -- allocation -----------------------------------------------------------
 
     def alloc(self, ntype: NodeType, ctx: ExecContext) -> Node:

@@ -147,6 +147,15 @@ class Environment:
             yield entry
             entry = entry.nxt
 
+    def entries_oldest_first(self) -> list[EnvEntry]:
+        """This scope's bindings in definition order (snapshot order:
+        replaying ``define`` over the list reproduces the same prepended
+        entry chain, so shadowing and lookup order survive a heap
+        migration bit for bit)."""
+        entries = list(self.entries())
+        entries.reverse()
+        return entries
+
     def __len__(self) -> int:
         # Maintained on define/clear so stats and tests stay O(1) even on
         # large session roots.

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..context import ExecContext
+from ..context import ExecContext, NullContext
 from ..ops import Op
 
 __all__ = ["SymbolTable"]
@@ -49,6 +49,17 @@ class SymbolTable:
             self._spellings.append(spelling)
             ctx.charge(Op.NODE_WRITE)
         return sym_id
+
+    def intern_host(self, spelling: str) -> int:
+        """Uncharged host-side interning (snapshot restore).
+
+        Migration restores a heap on the *host* side between batch
+        transactions, and sym_ids are per-device handles: the restored
+        spellings must enter this device's table, but the work is host
+        orchestration — the migration layer charges the snapshot's
+        transfer time instead of per-spelling probes.
+        """
+        return self.intern(spelling, NullContext())
 
     def id_of(self, spelling: str) -> Optional[int]:
         """The id for ``spelling`` if already interned (uncharged peek)."""

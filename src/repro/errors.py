@@ -138,3 +138,9 @@ class UnbalancedInputError(HostProtocolError):
 
 class UnknownDeviceError(CuLiError):
     """A device name not present in the registry was requested."""
+
+
+class SnapshotError(CuLiError):
+    """A heap snapshot could not be decoded or restored (unknown wire
+    version, dangling node reference, or a builtin name the destination
+    interpreter does not provide)."""

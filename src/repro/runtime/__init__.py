@@ -5,12 +5,17 @@ from .fidelity import Fidelity, group_rows, task_signature
 from .devices import available_devices, device_for, DEVICE_NAMES
 from .parse_cache import ParseCache, ParseCacheStats
 from .session import CuLiSession
+from .snapshot import HeapSnapshot, SnapshotNode, restore_env, snapshot_env
 
 __all__ = [
     "Fidelity",
     "group_rows",
     "task_signature",
     "CuLiSession",
+    "HeapSnapshot",
+    "SnapshotNode",
+    "snapshot_env",
+    "restore_env",
     "ParseCache",
     "ParseCacheStats",
     "available_devices",

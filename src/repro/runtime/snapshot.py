@@ -1,0 +1,301 @@
+"""Device-agnostic heap snapshots (DESIGN.md deviation #9).
+
+A tenant session's persistent state is a subgraph of one device's node
+arena: the session-root scope's bindings and every node reachable from
+them (defun'd forms, setq'd values, structure-shared lists). That pins
+the session to the device for life — a hot device cannot shed load, a
+fault-quarantined device cannot be drained, and a server restart loses
+every tenant. PyCUDA-style host orchestration argues the *host* should
+own placement and lifetime end to end, so this module gives it the
+primitive: a **relocatable snapshot** of the reachable persistent heap
+that can be restored into any other device's arena.
+
+Format rules (what makes the snapshot relocatable):
+
+* Node references are indices into the snapshot's own record list, not
+  arena slot numbers — sharing (cons'd tails, cdr views) is preserved
+  exactly, and the destination arena may place nodes anywhere.
+* Interned symbol ids are **not** serialized: ``sym_id`` is a per-device
+  intern-table handle, so records carry the spelling plus one
+  ``interned`` bit, and restore re-interns spellings into the
+  destination's table (or leaves them uninterned on a literal device).
+* Builtin function pointers are serialized by *name* and re-resolved
+  from the destination interpreter's registry.
+* ``last`` pointers are serialized only when the target node is
+  reachable through the mark edges (first/nxt/params) — the same edges
+  the garbage collector keeps alive. A truncated-chain ``last`` that GC
+  would have dangled restores as nil (the ``last`` builtin then answers
+  nil rather than reading recycled memory).
+
+Cost accounting (see DESIGN.md deviation #9): serializing and restoring
+are *host-side* work and charge no modeled device ops; the serving
+layer charges the snapshot's wire size (``HeapSnapshot.nbytes``) as
+modeled host<->device transfer time on both ends of a migration.
+Restored nodes are allocated straight into the tenured generation —
+migrated state is persistent by construction, exactly like the write
+barriers would have promoted it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..context import ExecContext, NullContext
+from ..core.environment import Environment
+from ..core.nodes import NODE_BYTES, REGION_TENURED, Node, NodeType
+from ..errors import SnapshotError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.interpreter import Interpreter
+
+__all__ = ["SnapshotNode", "HeapSnapshot", "snapshot_env", "restore_env"]
+
+#: "No node" reference inside a snapshot (None pointer on restore).
+NO_REF = -1
+
+#: Bump when the wire format changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+_FLAG_SEALED = 1
+_FLAG_LINKED = 2
+_FLAG_INTERNED = 4
+
+
+@dataclass
+class SnapshotNode:
+    """One relocatable node record (references are snapshot indices)."""
+
+    ntype: int
+    ival: int = 0
+    fval: float = 0.0
+    sval: str = ""
+    fn_name: Optional[str] = None  #: builtin name; re-resolved on restore
+    first: int = NO_REF
+    last: int = NO_REF
+    nxt: int = NO_REF
+    params: int = NO_REF
+    sealed: bool = True
+    linked: bool = False
+    interned: bool = False  #: source carried a sym_id; re-intern on restore
+
+    def to_row(self) -> list:
+        flags = (
+            (_FLAG_SEALED if self.sealed else 0)
+            | (_FLAG_LINKED if self.linked else 0)
+            | (_FLAG_INTERNED if self.interned else 0)
+        )
+        return [
+            int(self.ntype), self.ival, self.fval, self.sval, self.fn_name,
+            self.first, self.last, self.nxt, self.params, flags,
+        ]
+
+    @classmethod
+    def from_row(cls, row: list) -> "SnapshotNode":
+        if len(row) != 10:
+            raise SnapshotError(f"malformed snapshot node record: {row!r}")
+        ntype, ival, fval, sval, fn_name, first, last, nxt, params, flags = row
+        return cls(
+            ntype=int(ntype), ival=int(ival), fval=float(fval), sval=str(sval),
+            fn_name=fn_name, first=int(first), last=int(last), nxt=int(nxt),
+            params=int(params),
+            sealed=bool(flags & _FLAG_SEALED),
+            linked=bool(flags & _FLAG_LINKED),
+            interned=bool(flags & _FLAG_INTERNED),
+        )
+
+
+@dataclass
+class HeapSnapshot:
+    """A tenant's reachable persistent heap in relocatable form."""
+
+    label: str
+    nodes: list[SnapshotNode] = field(default_factory=list)
+    #: (spelling, node ref, interned) triples in *definition order* —
+    #: replaying ``define`` over this list reproduces the source scope's
+    #: entry chain (and shadowing) exactly.
+    bindings: list[tuple] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the snapshot: one node struct per record plus
+        the symbol spellings and binding names carried out-of-line
+        (spellings travel because sym_ids are per-device)."""
+        text = sum(len(rec.sval.encode()) + 1 for rec in self.nodes if rec.sval)
+        text += sum(len(spelling.encode()) + 1 for spelling, _, _ in self.bindings)
+        return len(self.nodes) * NODE_BYTES + text
+
+    # -- persistence (CuLiServer.save/restore) -----------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-able encoding of the snapshot."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "label": self.label,
+            "nodes": [rec.to_row() for rec in self.nodes],
+            "bindings": [list(b) for b in self.bindings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeapSnapshot":
+        version = data.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot version {version!r} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        snap = cls(
+            label=str(data.get("label", "")),
+            nodes=[SnapshotNode.from_row(row) for row in data.get("nodes", [])],
+            bindings=[
+                (str(s), int(ref), bool(interned))
+                for s, ref, interned in data.get("bindings", [])
+            ],
+        )
+        n = len(snap.nodes)
+        for rec in snap.nodes:
+            for ref in (rec.first, rec.last, rec.nxt, rec.params):
+                if not (NO_REF <= ref < n):
+                    raise SnapshotError(f"dangling node reference {ref} (of {n})")
+        for spelling, ref, _ in snap.bindings:
+            if not (0 <= ref < n):
+                raise SnapshotError(
+                    f"binding {spelling!r} references node {ref} (of {n})"
+                )
+        return snap
+
+
+def snapshot_env(env: Environment, label: Optional[str] = None) -> HeapSnapshot:
+    """Serialize a session scope's bindings and their reachable subgraph.
+
+    Read-only host-side work: the source heap is walked over the same
+    edges the GC mark phase follows (first/nxt/params), sharing is
+    preserved via the index map, and nothing on the source is mutated —
+    a failed migration leaves the source session untouched.
+    """
+    index: dict[int, int] = {}
+    order: list[Node] = []
+
+    def visit(root: Optional[Node]) -> int:
+        if root is None:
+            return NO_REF
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in index:
+                continue
+            index[id(node)] = len(order)
+            order.append(node)
+            # Push in reverse visit preference so first/nxt/params are
+            # discovered in a deterministic order (stable snapshots).
+            if node.params is not None:
+                stack.append(node.params)
+            if node.nxt is not None:
+                stack.append(node.nxt)
+            if node.first is not None:
+                stack.append(node.first)
+        return index[id(root)]
+
+    bindings: list[tuple] = []
+    for entry in env.entries_oldest_first():
+        bindings.append((entry.symbol, visit(entry.node), entry.sym_id >= 0))
+
+    records: list[SnapshotNode] = []
+    for node in order:
+        records.append(
+            SnapshotNode(
+                ntype=int(node.ntype),
+                ival=node.ival,
+                fval=node.fval,
+                sval=node.sval,
+                fn_name=node.fn.name if node.fn is not None else None,
+                first=index.get(id(node.first), NO_REF) if node.first else NO_REF,
+                # last resolves only through the mark edges (module docs).
+                last=index.get(id(node.last), NO_REF) if node.last else NO_REF,
+                nxt=index.get(id(node.nxt), NO_REF) if node.nxt else NO_REF,
+                params=index.get(id(node.params), NO_REF) if node.params else NO_REF,
+                sealed=node.sealed,
+                linked=node.linked,
+                interned=node.sym_id >= 0,
+            )
+        )
+    return HeapSnapshot(
+        label=label if label is not None else env.label,
+        nodes=records,
+        bindings=bindings,
+    )
+
+
+def restore_env(
+    snapshot: HeapSnapshot,
+    interp: "Interpreter",
+    env: Optional[Environment] = None,
+    label: Optional[str] = None,
+    ctx: Optional[ExecContext] = None,
+) -> Environment:
+    """Materialize a snapshot into ``interp``'s arena as tenured state.
+
+    Returns the session environment holding the restored bindings — a
+    fresh session root (``Interpreter.create_session_env``) unless
+    ``env`` is given. Spellings are re-interned into the destination's
+    symbol table when it has one; builtin references are re-resolved
+    from the destination registry; restored nodes are tagged tenured so
+    no later nursery reset can reclaim them.
+
+    Failure atomicity: nodes materialize *before* the environment is
+    created or any binding is defined, so an arena-exhausting restore
+    raises with no binding half-installed — the orphaned tenured nodes
+    are unreachable and the destination's next major collection
+    reclaims them.
+    """
+    if ctx is None:
+        ctx = NullContext()
+    arena = interp.arena
+    symtab = interp.symtab
+
+    materialized: list[Node] = []
+    for rec in snapshot.nodes:
+        try:
+            ntype = NodeType(rec.ntype)
+        except ValueError as exc:
+            raise SnapshotError(f"unknown node type {rec.ntype}") from exc
+        node = arena.alloc(ntype, ctx)
+        node.ival = rec.ival
+        node.fval = rec.fval
+        node.sval = rec.sval
+        if rec.interned and symtab is not None:
+            node.sym_id = symtab.intern_host(rec.sval)
+        if rec.fn_name is not None:
+            try:
+                node.fn = interp.registry.get(rec.fn_name)
+            except KeyError as exc:
+                raise SnapshotError(
+                    f"snapshot references unknown builtin {rec.fn_name!r}"
+                ) from exc
+        # Restored state is persistent by construction: tag it tenured
+        # directly (restore normally runs between batch transactions; if
+        # a nursery is open this is exactly a write-barrier promotion).
+        node.region = REGION_TENURED
+        node.linked = rec.linked
+        node.sealed = rec.sealed
+        materialized.append(node)
+
+    # Second pass: wire the graph (sharing restored via the index map).
+    for rec, node in zip(snapshot.nodes, materialized):
+        node.first = materialized[rec.first] if rec.first >= 0 else None
+        node.last = materialized[rec.last] if rec.last >= 0 else None
+        node.nxt = materialized[rec.nxt] if rec.nxt >= 0 else None
+        node.params = materialized[rec.params] if rec.params >= 0 else None
+
+    if env is None:
+        env = interp.create_session_env(label or snapshot.label or "restored")
+    for spelling, ref, interned in snapshot.bindings:
+        sym_id = -1
+        if interned and symtab is not None:
+            sym_id = symtab.intern_host(spelling)
+        env.define(spelling, materialized[ref], ctx, sym_id=sym_id)
+    return env

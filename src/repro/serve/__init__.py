@@ -17,18 +17,20 @@ comparison.
 """
 
 from .pool import DevicePool, PooledDevice
-from .scheduler import Scheduler
+from .scheduler import Rebalancer, Scheduler
 from .server import CuLiServer
 from .session import TenantSession, Ticket
-from .stats import DeviceStats, ServerStats
+from .stats import DeviceStats, MigrationRecord, ServerStats
 
 __all__ = [
     "CuLiServer",
     "DevicePool",
     "PooledDevice",
+    "Rebalancer",
     "Scheduler",
     "TenantSession",
     "Ticket",
     "DeviceStats",
+    "MigrationRecord",
     "ServerStats",
 ]

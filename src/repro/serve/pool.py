@@ -1,17 +1,21 @@
 """The device pool: N simulated devices behind per-device FIFO queues.
 
-A tenant session is *pinned* to one device at open time (its persistent
-environment lives in that device's node arena, so requests cannot
-migrate), which makes the pool a sharded fleet: placement happens once
-per session, then each device serves its own queue in batches. This is
-the PyCUDA-style host orchestration layer: Python owns device lifetime
-and work routing, the simulated devices own execution.
+A tenant session is placed on one device at open time (its persistent
+environment lives in that device's node arena), which makes the pool a
+sharded fleet: each device serves its own queue in batches. Since the
+heap-snapshot subsystem (:mod:`repro.runtime.snapshot`) the pinning is
+*elastic* rather than for-life — the server can migrate a session's
+persistent heap to another device between batch rounds, and a device
+hitting repeated faults can be marked ``draining`` so placement avoids
+it while its sessions move off. This is the PyCUDA-style host
+orchestration layer: Python owns device lifetime, placement, and work
+routing; the simulated devices own execution.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Collection, Optional, Sequence, Union
 
 from ..cpu.device import CPUDevice, CPUDeviceConfig
 from ..cpu.specs import CPUSpec
@@ -30,13 +34,17 @@ DeviceSpec = Union[str, GPUSpec, CPUSpec]
 class PooledDevice:
     """One device plus its queue and session bookkeeping."""
 
-    __slots__ = ("device_id", "device", "queue", "session_count")
+    __slots__ = ("device_id", "device", "queue", "session_count", "draining")
 
     def __init__(self, device_id: str, device: Union[GPUDevice, CPUDevice]) -> None:
         self.device_id = device_id
         self.device = device
         self.queue: deque["Ticket"] = deque()
         self.session_count = 0
+        #: Set by the rebalancer when this device is being evacuated
+        #: (repeated faults): placement avoids draining devices and the
+        #: rebalancer migrates their sessions off.
+        self.draining = False
 
     @property
     def name(self) -> str:
@@ -51,9 +59,19 @@ class PooledDevice:
         return len(self.queue)
 
     @property
-    def load(self) -> tuple[int, int]:
-        """Placement key: sessions first, then queued work."""
-        return (self.session_count, len(self.queue))
+    def retained_nodes(self) -> int:
+        """Tenured nodes resident in this device's arena (the retained
+        heap already pinned here — counts against placement headroom)."""
+        return self.device.interp.arena.tenured_count
+
+    @property
+    def load(self) -> tuple[int, int, int]:
+        """Placement key: sessions first, then retained heap, then
+        queued work. The retained-heap term matters for restores: a
+        migrated or server-restored session arrives *with* its tenured
+        subgraph, so ties between equally-subscribed devices must break
+        toward the emptiest arena, not an arbitrary one."""
+        return (self.session_count, self.retained_nodes, len(self.queue))
 
 
 class DevicePool:
@@ -87,9 +105,25 @@ class DevicePool:
 
     # -- placement ---------------------------------------------------------------
 
-    def place_session(self) -> PooledDevice:
-        """Least-loaded placement: fewest sessions, then shortest queue."""
-        pdev = min(self.devices.values(), key=lambda d: d.load)
+    def place_session(self, exclude: Collection[str] = ()) -> PooledDevice:
+        """Least-loaded placement: fewest sessions, then the smallest
+        retained heap, then the shortest queue.
+
+        ``exclude`` removes candidates (a migration's source device, and
+        draining devices are always skipped); if exclusions would leave
+        no candidate at all the filter is dropped — the pool never
+        refuses to place.
+        """
+        candidates = [
+            d
+            for d in self.devices.values()
+            if not d.draining and d.device_id not in exclude
+        ]
+        if not candidates:
+            candidates = [
+                d for d in self.devices.values() if d.device_id not in exclude
+            ] or list(self.devices.values())
+        pdev = min(candidates, key=lambda d: d.load)
         pdev.session_count += 1
         return pdev
 

@@ -37,10 +37,11 @@ from ..timing import CommandStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from .pool import DevicePool, PooledDevice
-    from .session import Ticket
-    from .stats import ServerStats
+    from .server import CuLiServer
+    from .session import TenantSession, Ticket
+    from .stats import MigrationRecord, ServerStats
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "Rebalancer"]
 
 
 class Scheduler:
@@ -202,7 +203,11 @@ class Scheduler:
         if stats is not None and retried:
             stats.record_quarantined(len(retried))
 
-    def drain(self, stats: Optional["ServerStats"] = None) -> int:
+    def drain(
+        self,
+        stats: Optional["ServerStats"] = None,
+        rebalancer: Optional["Rebalancer"] = None,
+    ) -> int:
         """Serve every queued request; returns the number of batches run.
 
         Each pass forms one batch per device (devices run concurrently in
@@ -212,6 +217,12 @@ class Scheduler:
         failure converts its tickets into solo quarantine retries, and a
         quarantined ticket that fails again resolves with its error
         instead of looping.
+
+        A ``rebalancer`` runs between rounds — after every device's
+        batch of the pass has resolved, when no ticket is in flight — so
+        it only ever moves *idle* sessions. Migrations re-route a
+        session's still-queued tickets with its heap; pending never
+        grows, so drain still terminates.
         """
         batches = 0
         while self.pool.pending:
@@ -220,4 +231,159 @@ class Scheduler:
                 if batch:
                     self.dispatch(pdev, batch, stats)
                     batches += 1
+            if rebalancer is not None:
+                rebalancer.after_round(stats)
         return batches
+
+
+class Rebalancer:
+    """Between-round elastic rebalancing: migrate idle sessions off
+    overloaded or fault-ridden devices.
+
+    Two policies run after every distribution round, while no ticket is
+    in flight:
+
+    * **Fault drain** — a device that accumulates ``fault_threshold``
+      *new* faults (contained plus batch-fatal, PR 4's classification)
+      since this rebalancer last looked is marked draining: every
+      session still on it migrates off (their queued tickets travel
+      along), and the pool's placement skips draining devices for new
+      and migrated sessions alike. Draining is sticky until
+      :meth:`reset_device` returns a repaired device to service; a
+      fault-injecting *tenant* can therefore walk the pool down device
+      by device as it migrates (the policy cannot know which tenant is
+      at fault), but the last healthy device is never drained — the
+      pool always serves.
+    * **Overload shedding** — when the deepest queue exceeds
+      ``imbalance_ratio`` x the shallowest (and by at least two
+      tickets), up to ``max_moves_per_round`` sessions move from the
+      hottest device to the coldest. The candidate whose queued-ticket
+      count best fills half the gap is chosen, so one move does the most
+      levelling possible without overshooting.
+
+    Moving a session is never free: each migration's snapshot bytes are
+    charged as modeled host<->device transfer time on both links
+    (``ServerStats.record_migration``), which is what
+    ``benchmarks/bench_rebalance.py`` holds the policy accountable
+    against. On an already-balanced pool no move triggers and the only
+    cost is the host-side queue-depth comparison.
+    """
+
+    def __init__(
+        self,
+        server: "CuLiServer",
+        imbalance_ratio: float = 2.0,
+        max_moves_per_round: int = 2,
+        fault_threshold: int = 3,
+    ) -> None:
+        if imbalance_ratio < 1.0:
+            raise ValueError("imbalance_ratio must be >= 1.0")
+        if max_moves_per_round < 1:
+            raise ValueError("max_moves_per_round must be >= 1")
+        if fault_threshold < 1:
+            raise ValueError("fault_threshold must be >= 1")
+        self.server = server
+        self.imbalance_ratio = imbalance_ratio
+        self.max_moves_per_round = max_moves_per_round
+        self.fault_threshold = fault_threshold
+        #: Per-device fault count already accounted for: drain decisions
+        #: compare against the *delta* since the mark, not the lifetime
+        #: counter, so a long-serving device is judged on recent health.
+        self._fault_marks: dict[str, int] = {}
+
+    def reset_device(self, device_id: str) -> None:
+        """Return a drained device to service (operator hook, e.g. after
+        the fault source was identified and closed): clears ``draining``
+        and forgives the faults recorded so far."""
+        pdev = self.server.pool[device_id]
+        pdev.draining = False
+        dstats = self.server.stats.per_device.get(device_id)
+        self._fault_marks[device_id] = dstats.faults if dstats else 0
+
+    # -- the between-rounds hook --------------------------------------------------
+
+    def after_round(
+        self, stats: Optional["ServerStats"] = None
+    ) -> list["MigrationRecord"]:
+        """Run both policies once; returns the migrations performed."""
+        moves = self._drain_faulty(stats)
+        moves.extend(self._shed_overload())
+        return moves
+
+    # -- fault drain ---------------------------------------------------------------
+
+    def _drain_faulty(
+        self, stats: Optional["ServerStats"]
+    ) -> list["MigrationRecord"]:
+        if stats is None:
+            return []
+        pool = self.server.pool
+        moves: list["MigrationRecord"] = []
+        for pdev in pool.devices.values():
+            if pdev.draining:
+                continue
+            dstats = stats.per_device.get(pdev.device_id)
+            if dstats is None:
+                continue
+            mark = self._fault_marks.get(pdev.device_id, 0)
+            if dstats.faults - mark < self.fault_threshold:
+                continue
+            self._fault_marks[pdev.device_id] = dstats.faults
+            # Nowhere to evacuate to if every other device is draining.
+            if all(
+                other.draining
+                for other in pool.devices.values()
+                if other is not pdev
+            ):
+                continue
+            pdev.draining = True
+            stats.record_device_drained(pdev.device_id)
+            for session in self._sessions_on(pdev):
+                moves.append(self.server.migrate_session(session))
+        return moves
+
+    # -- overload shedding ---------------------------------------------------------
+
+    def _shed_overload(self) -> list["MigrationRecord"]:
+        pool = self.server.pool
+        moves: list["MigrationRecord"] = []
+        for _ in range(self.max_moves_per_round):
+            usable = [d for d in pool.devices.values() if not d.draining]
+            if len(usable) < 2:
+                break
+            hot = max(usable, key=lambda d: d.queue_depth)
+            cold = min(usable, key=lambda d: d.queue_depth)
+            gap = hot.queue_depth - cold.queue_depth
+            if gap < 2 or hot.queue_depth < self.imbalance_ratio * (
+                cold.queue_depth + 1
+            ):
+                break
+            session = self._pick_session(hot, target_tickets=max(1, gap // 2))
+            if session is None:
+                break
+            moves.append(self.server.migrate_session(session, cold.device_id))
+        return moves
+
+    def _sessions_on(self, pdev: "PooledDevice") -> list["TenantSession"]:
+        return [
+            s
+            for s in list(self.server.sessions.values())
+            if s.device_id == pdev.device_id
+        ]
+
+    @staticmethod
+    def _pick_session(
+        pdev: "PooledDevice", target_tickets: int
+    ) -> Optional["TenantSession"]:
+        """The session whose queued-ticket count comes closest to the
+        transfer target without exceeding it (falling back to the
+        lightest session when every candidate overshoots)."""
+        counts: dict["TenantSession", int] = {}
+        for ticket in pdev.queue:
+            counts[ticket.session] = counts.get(ticket.session, 0) + 1
+        if not counts:
+            return None
+        fitting = [s for s, n in counts.items() if n <= target_tickets]
+        if fitting:
+            return max(fitting, key=lambda s: counts[s])
+        return min(counts, key=lambda s: counts[s])

@@ -28,12 +28,25 @@ from ..timing import CommandStats
 from ..core.interpreter import InterpreterOptions
 from ..cpu.device import CPUDeviceConfig
 from ..gpu.device import GPUDeviceConfig
-from .pool import DevicePool, DeviceSpec
-from .scheduler import Scheduler
+from ..runtime.snapshot import HeapSnapshot, restore_env, snapshot_env
+from .pool import DevicePool, DeviceSpec, PooledDevice
+from .scheduler import Rebalancer, Scheduler
 from .session import TenantSession, Ticket
-from .stats import ServerStats
+from .stats import MigrationRecord, ServerStats
 
 __all__ = ["CuLiServer"]
+
+
+def _link_ms(pdev: PooledDevice, nbytes: int) -> float:
+    """Modeled time to move ``nbytes`` across one device's host link.
+
+    GPUs pay the PCIe model (latency + size/bandwidth, the same
+    ``spec.transfer_ms`` every command upload pays); CPU devices share
+    memory with the host, so their side of a migration is free — exactly
+    like their command transfers.
+    """
+    transfer = getattr(pdev.device.spec, "transfer_ms", None)
+    return transfer(nbytes) if callable(transfer) else 0.0
 
 
 class CuLiServer:
@@ -47,6 +60,8 @@ class CuLiServer:
         cpu_config: Optional[CPUDeviceConfig] = None,
         fast_path: bool = True,
         gc_policy: Optional[str] = None,
+        rebalance: bool = False,
+        rebalancer: Optional[Rebalancer] = None,
     ) -> None:
         # The serving layer defaults to the fast-path ablation (interned
         # symbols, indexed session roots, parse cache, generational
@@ -83,6 +98,13 @@ class CuLiServer:
             self.stats.register_device(device_id, pdev.name, pdev.kind)
         self.sessions: dict[str, TenantSession] = {}
         self._session_counter = count()
+        # Elastic rebalancing (heap snapshot / migration PR): off by
+        # default so existing single-placement serving is untouched;
+        # ``rebalance=True`` installs the default policy, or pass a
+        # configured Rebalancer.
+        self.rebalancer: Optional[Rebalancer] = rebalancer
+        if self.rebalancer is None and rebalance:
+            self.rebalancer = Rebalancer(self)
         self._closed = False
 
     # -- sessions -----------------------------------------------------------------
@@ -129,6 +151,165 @@ class CuLiServer:
         pdev.device.release_session_env(session.env)
         self.pool.session_closed(session.device_id)
 
+    # -- migration (elastic rebalancing) ------------------------------------------
+
+    def migrate_session(
+        self, session: TenantSession, device_id: Optional[str] = None
+    ) -> MigrationRecord:
+        """Move a session's persistent heap to another device.
+
+        The session's reachable heap is serialized off its current
+        device (:func:`~repro.runtime.snapshot.snapshot_env`), restored
+        into the target's arena as tenured state, and its queued —
+        not-yet-batched — tickets travel with it (submission order
+        preserved, so strict REPL order survives the move). The source
+        copy is then released and reclaimed, and the snapshot's wire
+        size is charged as modeled host<->device transfer time on both
+        links (:meth:`ServerStats.record_migration`).
+
+        ``device_id`` picks the target explicitly; by default the pool's
+        placement policy chooses (excluding the current device). The
+        restore happens *before* the source is released, so a failed
+        migration (e.g. the target arena is full) raises with the
+        session still healthy on its original device.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self.sessions.get(session.session_id) is not session:
+            raise ValueError(f"session {session.session_id!r} is not open here")
+        source = self.pool[session.device_id]
+        if device_id is None:
+            target = self.pool.place_session(exclude={source.device_id})
+            if target is source:
+                # The pool's never-refuse fallback circled back (single
+                # device, or everything else draining): a self-migration
+                # would copy the heap for nothing and charge phantom
+                # transfer, so refuse like the explicit path does.
+                self.pool.session_closed(target.device_id)
+                raise ValueError(
+                    f"no other device to migrate {session.session_id} to"
+                )
+        else:
+            target = self.pool[device_id]
+            if target is source:
+                raise ValueError(
+                    f"session {session.session_id} is already on {device_id}"
+                )
+            target.session_count += 1
+        snap = snapshot_env(session.env, label=session.session_id)
+        try:
+            new_env = restore_env(
+                snap, target.device.interp, label=session.session_id
+            )
+        except Exception:
+            self.pool.session_closed(target.device_id)
+            raise
+        moved = [t for t in source.queue if t.session is session]
+        if moved:
+            source.queue = deque(
+                t for t in source.queue if t.session is not session
+            )
+            target.queue.extend(moved)
+        # Source-side teardown: drop the root and reclaim the migrated
+        # heap now (host-orchestrated maintenance, uncharged — see
+        # DESIGN.md deviation #9) so the arena's space is free for the
+        # tenants that stayed.
+        source.device.release_session_env(session.env)
+        source.device.interp.collect_garbage()
+        self.pool.session_closed(source.device_id)
+        session.env = new_env
+        session.device_id = target.device_id
+        source_ms = _link_ms(source, snap.nbytes)
+        dest_ms = _link_ms(target, snap.nbytes)
+        record = MigrationRecord(
+            session_id=session.session_id,
+            source=source.device_id,
+            dest=target.device_id,
+            nodes=snap.node_count,
+            nbytes=snap.nbytes,
+            transfer_ms=source_ms + dest_ms,
+        )
+        self.stats.record_migration(record, source_ms=source_ms, dest_ms=dest_ms)
+        return record
+
+    # -- whole-fleet persistence ---------------------------------------------------
+
+    def save(self) -> dict:
+        """Snapshot every open session's persistent heap (JSON-able).
+
+        Queued requests are flushed first — a saved fleet holds only
+        durable tenant state, never in-flight commands. Feed the result
+        to :meth:`restore` on a freshly constructed server (same device
+        inventory not required: restored sessions are re-placed by the
+        pool's least-loaded/emptiest-arena policy).
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self.pool.pending:
+            self.flush()
+        return {
+            "version": 1,
+            "sessions": [
+                {
+                    "session_id": session.session_id,
+                    "snapshot": snapshot_env(
+                        session.env, label=session.session_id
+                    ).to_dict(),
+                }
+                for session in self.sessions.values()
+            ],
+        }
+
+    def restore(self, state: dict) -> dict[str, TenantSession]:
+        """Rebuild sessions from a :meth:`save` payload; returns them by id.
+
+        Each saved session is placed like a fresh one (the load key's
+        retained-heap term steers restores toward the emptiest arena)
+        and its heap is materialized there as tenured state. The restore
+        is all-or-nothing: duplicate ids are rejected before anything is
+        placed, and a mid-restore failure (e.g. an exhausted arena)
+        closes the sessions restored so far and re-raises — the payload
+        can be retried intact against a bigger pool.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        from ..errors import SnapshotError
+
+        if state.get("version") != 1:
+            raise SnapshotError(
+                f"unsupported fleet-snapshot version {state.get('version')!r} "
+                "(this build reads version 1)"
+            )
+        entries = state.get("sessions", [])
+        seen: set[str] = set()
+        for entry in entries:
+            session_id = entry["session_id"]
+            if session_id in self.sessions or session_id in seen:
+                raise ValueError(f"session {session_id!r} already open")
+            seen.add(session_id)
+        restored: dict[str, TenantSession] = {}
+        try:
+            for entry in entries:
+                session_id = entry["session_id"]
+                snap = HeapSnapshot.from_dict(entry["snapshot"])
+                pdev = self.pool.place_session()
+                try:
+                    env = restore_env(
+                        snap, pdev.device.interp, label=session_id
+                    )
+                except Exception:
+                    self.pool.session_closed(pdev.device_id)
+                    raise
+                session = TenantSession(self, session_id, pdev.device_id, env)
+                self.sessions[session_id] = session
+                restored[session_id] = session
+        except Exception:
+            for session in restored.values():
+                session.close()
+            raise
+        self.stats.record_restored(len(restored))
+        return restored
+
     # -- request flow -------------------------------------------------------------
 
     def submit(self, session: TenantSession, text: str) -> Ticket:
@@ -141,8 +322,12 @@ class CuLiServer:
         return ticket
 
     def flush(self) -> int:
-        """Serve every queued request in batches; returns batches run."""
-        return self.scheduler.drain(self.stats)
+        """Serve every queued request in batches; returns batches run.
+
+        With a rebalancer installed, idle sessions may migrate between
+        batch rounds (overload shedding, fault-drain) — see
+        :class:`~repro.serve.scheduler.Rebalancer`."""
+        return self.scheduler.drain(self.stats, rebalancer=self.rebalancer)
 
     @property
     def pending(self) -> int:

@@ -18,6 +18,7 @@ from ..timing import CommandStats, PhaseBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover
     from .server import CuLiServer
+    from .stats import MigrationRecord
 
 __all__ = ["Ticket", "TenantSession"]
 
@@ -121,6 +122,24 @@ class TenantSession:
     def run_program(self, source: str) -> list[Ticket]:
         """Queue every top-level form of a program, in order."""
         return self._protocol.run_program(source)
+
+    # -- migration ----------------------------------------------------------------
+
+    def migrate(self, device_id: Optional[str] = None) -> "MigrationRecord":
+        """Move this session's persistent heap to another pooled device.
+
+        The environment's reachable subgraph is snapshotted, restored
+        into the target device's arena as tenured state, and reclaimed
+        on the source; queued commands travel with the session and still
+        execute in submission order. By default the pool picks the
+        target (least-loaded, emptiest arena); pass ``device_id`` to
+        choose. Returns the :class:`~repro.serve.stats.MigrationRecord`
+        with the heap volume moved and the modeled transfer time
+        charged.
+        """
+        if self._closed:
+            raise RuntimeError(f"session {self.session_id} is closed")
+        return self.server.migrate_session(self, device_id)
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from ..timing import PhaseBreakdown
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.batch import BatchResult
 
-__all__ = ["DeviceStats", "ServerStats"]
+__all__ = ["DeviceStats", "MigrationRecord", "ServerStats"]
 
 
 @dataclass
@@ -33,6 +33,20 @@ class DeviceStats:
     jobs: int = 0            #: worker jobs (service + nested ``|||``)
     rounds: int = 0          #: shared distribution rounds
     faults: int = 0          #: device faults (contained + batch-fatal)
+    migrations_in: int = 0   #: sessions restored onto this device
+    migrations_out: int = 0  #: sessions snapshotted off this device
+
+
+@dataclass
+class MigrationRecord:
+    """One completed session migration (what ``migrate()`` returns)."""
+
+    session_id: str
+    source: str              #: device_id the heap was serialized off
+    dest: str                #: device_id the heap was restored onto
+    nodes: int               #: heap nodes carried by the snapshot
+    nbytes: int              #: snapshot wire size
+    transfer_ms: float       #: modeled host<->device time (both links)
 
 
 class ServerStats:
@@ -68,6 +82,17 @@ class ServerStats:
         self.gc_regions_reset = 0
         self.gc_major_collections = 0
         self.gc_wall_ms = 0.0
+        # Elastic-rebalancing counters (heap snapshot / migration PR):
+        # sessions moved between devices, the heap volume they carried,
+        # the modeled transfer time charged for the moves, devices
+        # evacuated after repeated faults, and sessions restored from a
+        # saved fleet snapshot.
+        self.sessions_migrated = 0
+        self.migration_nodes = 0
+        self.migration_bytes = 0
+        self.migration_transfer_ms = 0.0
+        self.devices_drained = 0
+        self.sessions_restored = 0
         self.per_device: dict[str, DeviceStats] = {}
         #: live queue-depth gauge, installed by the server
         self._queue_depth_fn: Optional[Callable[[], dict[str, int]]] = None
@@ -119,6 +144,42 @@ class ServerStats:
     def record_quarantined(self, n: int) -> None:
         """Tickets requeued for solo retry after a batch-fatal failure."""
         self.quarantine_retries += n
+
+    def record_migration(
+        self, record: MigrationRecord, source_ms: float, dest_ms: float
+    ) -> None:
+        """One session heap moved between devices.
+
+        The snapshot's wire crossing is modeled work on *both* ends:
+        ``source_ms`` (serialize-out over the source's link) joins the
+        source device's busy time, ``dest_ms`` the destination's, and
+        the sum lands in ``phase_totals.transfer_ms`` — so rebalancing
+        is never free in the makespan it is trying to shrink.
+        """
+        self.sessions_migrated += 1
+        self.migration_nodes += record.nodes
+        self.migration_bytes += record.nbytes
+        self.migration_transfer_ms += record.transfer_ms
+        self.phase_totals = self.phase_totals.merged_with(
+            PhaseBreakdown(transfer_ms=record.transfer_ms)
+        )
+        src = self.per_device.get(record.source)
+        if src is not None:
+            src.busy_ms += source_ms
+            src.migrations_out += 1
+        dst = self.per_device.get(record.dest)
+        if dst is not None:
+            dst.busy_ms += dest_ms
+            dst.migrations_in += 1
+
+    def record_device_drained(self, device_id: str) -> None:
+        """A device was marked draining (repeated faults): its sessions
+        migrate off and new placements avoid it."""
+        self.devices_drained += 1
+
+    def record_restored(self, n: int = 1) -> None:
+        """Sessions rebuilt from a saved fleet snapshot (server restart)."""
+        self.sessions_restored += n
 
     def record_poisoned(self, device_id: str, n: int) -> None:
         """Tickets resolved with a batch-fatal error (poison requests).
@@ -209,6 +270,14 @@ class ServerStats:
                 "simulated_ms": self.phase_totals.gc_ms,
                 "wall_ms": self.gc_wall_ms,
             },
+            "rebalance": {
+                "migrations": self.sessions_migrated,
+                "nodes_moved": self.migration_nodes,
+                "bytes_moved": self.migration_bytes,
+                "transfer_ms": self.migration_transfer_ms,
+                "devices_drained": self.devices_drained,
+                "sessions_restored": self.sessions_restored,
+            },
             "devices": {
                 device_id: {
                     "name": d.name,
@@ -219,6 +288,8 @@ class ServerStats:
                     "jobs": d.jobs,
                     "rounds": d.rounds,
                     "faults": d.faults,
+                    "migrations_in": d.migrations_in,
+                    "migrations_out": d.migrations_out,
                     "utilization": self.utilization()[device_id],
                 }
                 for device_id, d in self.per_device.items()
@@ -246,6 +317,11 @@ class ServerStats:
             f"{snap['gc']['regions_reset']} region resets + "
             f"{snap['gc']['major_collections']} major collections "
             f"({snap['gc']['simulated_ms']:.3f} ms simulated)",
+            f"rebalance: {snap['rebalance']['migrations']} migrations "
+            f"({snap['rebalance']['nodes_moved']} nodes, "
+            f"{snap['rebalance']['transfer_ms']:.3f} ms transfer), "
+            f"{snap['rebalance']['devices_drained']} drained, "
+            f"{snap['rebalance']['sessions_restored']} restored",
         ]
         for device_id, d in snap["devices"].items():
             lines.append(

@@ -40,6 +40,47 @@ class TestPlacement:
         assert pool.place_session().device_id == first.device_id
         pool.close()
 
+    def test_retained_heap_breaks_session_count_ties(self):
+        """The load key counts tenured nodes: with equal session counts
+        a placement (e.g. a migration restore arriving with its heap)
+        targets the emptiest arena, not an arbitrary one."""
+        pool = DevicePool(["gtx480", "gtx480"])
+        fat = pool["gtx480#0"]
+        fat.device.submit("(defun retained (x) (list x x x))")
+        assert fat.retained_nodes > pool["gtx480#1"].retained_nodes
+        assert pool.place_session().device_id == "gtx480#1"
+        # Key order is sessions first: the fat-but-empty device still
+        # wins over an equally-empty-arena device with more sessions.
+        assert pool.place_session().device_id == "gtx480#0"
+        pool.close()
+
+    def test_load_key_includes_retained_nodes(self):
+        pool = DevicePool(["gtx480"])
+        pdev = pool["gtx480#0"]
+        sessions, retained, queued = pdev.load
+        assert sessions == 0 and queued == 0
+        assert retained == pdev.device.interp.arena.used
+        pool.close()
+
+    def test_draining_device_skipped(self):
+        pool = DevicePool(["gtx480", "gtx480"])
+        pool["gtx480#0"].draining = True
+        for _ in range(3):
+            assert pool.place_session().device_id == "gtx480#1"
+        # ...unless nothing else is left: the pool never refuses.
+        pool["gtx480#1"].draining = True
+        assert pool.place_session() is not None
+        pool.close()
+
+    def test_exclude_filters_candidates(self):
+        pool = DevicePool(["gtx480", "gtx480"])
+        assert pool.place_session(exclude={"gtx480#0"}).device_id == "gtx480#1"
+        # Exclusions are dropped rather than refusing placement.
+        assert (
+            pool.place_session(exclude={"gtx480#0", "gtx480#1"}) is not None
+        )
+        pool.close()
+
 
 class TestQueues:
     def test_enqueue_and_depths(self):
