@@ -30,16 +30,33 @@ __all__ = ["BuiltinFunction", "BuiltinRegistry", "install_all"]
 #: fn(interp, env, ctx, args, depth) -> Node, args unevaluated.
 BuiltinImpl = Callable[..., "Node"]
 
+#: values_fn(interp, env, ctx, values, depth) -> Node, values evaluated.
+BuiltinValuesImpl = Callable[..., "Node"]
+
 
 @dataclass(frozen=True)
 class BuiltinFunction:
-    """One built-in: a named function pointer with an arity contract."""
+    """One built-in: a named function pointer with an arity contract.
+
+    Most value-level builtins (arithmetic, lists, predicates, ...) are
+    exactly ``work(eval_args(args))``; for those, ``values_fn`` exposes
+    the ``work`` half so the JIT trace executor can feed it
+    already-evaluated register values. Special forms and builtins with
+    bespoke evaluation order leave ``values_fn`` as None — the trace
+    compiler refuses to inline them and bails to the tree-walker.
+    ``pure`` marks builtins whose values-level call has no observable
+    side effect beyond its charged ops and return value (false for
+    print/princ/terpri and fault injection); the executor uses it to
+    decide whether a guard bail may still safely re-run the whole form.
+    """
 
     name: str
     fn: BuiltinImpl
     min_args: int = 0
     max_args: Optional[int] = None  #: None = variadic
     doc: str = ""
+    values_fn: Optional[BuiltinValuesImpl] = None
+    pure: bool = True
 
     def check_arity(self, n: int) -> None:
         if n < self.min_args or (self.max_args is not None and n > self.max_args):
@@ -82,6 +99,40 @@ class BuiltinRegistry:
             raise ValueError(f"builtin {name!r} registered twice")
         self._by_name[name] = BuiltinFunction(
             name=name, fn=fn, min_args=min_args, max_args=max_args, doc=doc
+        )
+
+    def add_values(
+        self,
+        name: str,
+        values_fn: BuiltinValuesImpl,
+        min_args: int = 0,
+        max_args: Optional[int] = None,
+        doc: str = "",
+        pure: bool = True,
+    ) -> None:
+        """Register a values-level builtin.
+
+        The node-level ``fn`` is derived mechanically as
+        ``values_fn(eval_args(args))``, so tree-walk behaviour (and its
+        charge stream) is byte-identical to a hand-written builtin that
+        evaluated its arguments first — which is what every builtin
+        registered this way used to do.
+        """
+        if name in self._by_name:
+            raise ValueError(f"builtin {name!r} registered twice")
+        from .helpers import eval_args
+
+        def fn(interp, env, ctx, args, depth):
+            return values_fn(interp, env, ctx, eval_args(interp, env, ctx, args, depth), depth)
+
+        self._by_name[name] = BuiltinFunction(
+            name=name,
+            fn=fn,
+            min_args=min_args,
+            max_args=max_args,
+            doc=doc,
+            values_fn=values_fn,
+            pure=pure,
         )
 
     def names(self) -> list[str]:

@@ -11,7 +11,7 @@ import math
 from ...errors import EvalError
 from ...ops import Op
 from ..nodes import Node, NodeType
-from .helpers import as_number, eval_args
+from .helpers import as_number
 
 __all__ = ["register"]
 
@@ -23,8 +23,7 @@ def _charge_binop(ctx, a, b, int_op: Op, float_op: Op) -> None:
         ctx.charge(float_op)
 
 
-def _add(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _add(interp, env, ctx, values, depth) -> Node:
     total: int | float = 0
     for node in values:
         v = as_number(node, "+")
@@ -33,8 +32,7 @@ def _add(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(total, ctx)
 
 
-def _sub(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _sub(interp, env, ctx, values, depth) -> Node:
     first = as_number(values[0], "-")
     if len(values) == 1:
         ctx.charge(Op.ALU)
@@ -47,8 +45,7 @@ def _sub(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(total, ctx)
 
 
-def _mul(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _mul(interp, env, ctx, values, depth) -> Node:
     total: int | float = 1
     for node in values:
         v = as_number(node, "*")
@@ -57,8 +54,7 @@ def _mul(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(total, ctx)
 
 
-def _div(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _div(interp, env, ctx, values, depth) -> Node:
     first = as_number(values[0], "/")
     if len(values) == 1:
         values = [values[0], values[0]]
@@ -80,8 +76,8 @@ def _div(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(total, ctx)
 
 
-def _mod(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _mod(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     x, y = as_number(a, "mod"), as_number(b, "mod")
     if y == 0:
         raise EvalError("mod: division by zero")
@@ -89,8 +85,8 @@ def _mod(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(x % y, ctx)
 
 
-def _rem(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _rem(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     x, y = as_number(a, "rem"), as_number(b, "rem")
     if y == 0:
         raise EvalError("rem: division by zero")
@@ -101,15 +97,15 @@ def _rem(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(result, ctx)
 
 
-def _abs(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _abs(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     ctx.charge(Op.ALU)
     return interp.arena.new_number(abs(as_number(node, "abs")), ctx)
 
 
 def _minmax(which: str):
-    def impl(interp, env, ctx, args, depth) -> Node:
-        values = [as_number(n, which) for n in eval_args(interp, env, ctx, args, depth)]
+    def impl(interp, env, ctx, values, depth) -> Node:
+        values = [as_number(n, which) for n in values]
         ctx.charge(Op.ALU, max(1, len(values) - 1))
         result = min(values) if which == "min" else max(values)
         return interp.arena.new_number(result, ctx)
@@ -117,20 +113,20 @@ def _minmax(which: str):
     return impl
 
 
-def _inc(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _inc(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     ctx.charge(Op.ALU)
     return interp.arena.new_number(as_number(node, "1+") + 1, ctx)
 
 
-def _dec(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _dec(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     ctx.charge(Op.ALU)
     return interp.arena.new_number(as_number(node, "1-") - 1, ctx)
 
 
-def _expt(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _expt(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     base, expo = as_number(a, "expt"), as_number(b, "expt")
     ctx.charge(Op.FMUL, max(1, int(abs(expo)) if isinstance(expo, int) else 8))
     try:
@@ -142,8 +138,8 @@ def _expt(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_number(result, ctx)
 
 
-def _sqrt(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _sqrt(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     v = as_number(node, "sqrt")
     if v < 0:
         raise EvalError("sqrt: negative argument")
@@ -155,8 +151,8 @@ def _rounder(which: str):
     fns = {"floor": math.floor, "ceiling": math.ceil, "truncate": math.trunc,
            "round": round}
 
-    def impl(interp, env, ctx, args, depth) -> Node:
-        (node,) = eval_args(interp, env, ctx, args, depth)
+    def impl(interp, env, ctx, values, depth) -> Node:
+        (node,) = values
         ctx.charge(Op.FADD)
         return interp.arena.new_int(int(fns[which](as_number(node, which))), ctx)
 
@@ -164,20 +160,20 @@ def _rounder(which: str):
 
 
 def register(reg) -> None:
-    reg.add("+", _add, 0, None, "Sum of numbers; (+) is 0.")
-    reg.add("-", _sub, 1, None, "Difference; unary form negates.")
-    reg.add("*", _mul, 0, None, "Product of numbers; (*) is 1.")
-    reg.add("/", _div, 1, None, "Quotient; integer when exact, else float.")
-    reg.add("mod", _mod, 2, 2, "Modulo (sign follows divisor).")
-    reg.add("rem", _rem, 2, 2, "Remainder (sign follows dividend).")
-    reg.add("abs", _abs, 1, 1, "Absolute value.")
-    reg.add("min", _minmax("min"), 1, None, "Smallest argument.")
-    reg.add("max", _minmax("max"), 1, None, "Largest argument.")
-    reg.add("1+", _inc, 1, 1, "Increment.")
-    reg.add("1-", _dec, 1, 1, "Decrement.")
-    reg.add("expt", _expt, 2, 2, "base ** exponent.")
-    reg.add("sqrt", _sqrt, 1, 1, "Square root (always a float).")
-    reg.add("floor", _rounder("floor"), 1, 1, "Largest integer <= x.")
-    reg.add("ceiling", _rounder("ceiling"), 1, 1, "Smallest integer >= x.")
-    reg.add("truncate", _rounder("truncate"), 1, 1, "Integer toward zero.")
-    reg.add("round", _rounder("round"), 1, 1, "Nearest integer (banker's).")
+    reg.add_values("+", _add, 0, None, "Sum of numbers; (+) is 0.")
+    reg.add_values("-", _sub, 1, None, "Difference; unary form negates.")
+    reg.add_values("*", _mul, 0, None, "Product of numbers; (*) is 1.")
+    reg.add_values("/", _div, 1, None, "Quotient; integer when exact, else float.")
+    reg.add_values("mod", _mod, 2, 2, "Modulo (sign follows divisor).")
+    reg.add_values("rem", _rem, 2, 2, "Remainder (sign follows dividend).")
+    reg.add_values("abs", _abs, 1, 1, "Absolute value.")
+    reg.add_values("min", _minmax("min"), 1, None, "Smallest argument.")
+    reg.add_values("max", _minmax("max"), 1, None, "Largest argument.")
+    reg.add_values("1+", _inc, 1, 1, "Increment.")
+    reg.add_values("1-", _dec, 1, 1, "Decrement.")
+    reg.add_values("expt", _expt, 2, 2, "base ** exponent.")
+    reg.add_values("sqrt", _sqrt, 1, 1, "Square root (always a float).")
+    reg.add_values("floor", _rounder("floor"), 1, 1, "Largest integer <= x.")
+    reg.add_values("ceiling", _rounder("ceiling"), 1, 1, "Smallest integer >= x.")
+    reg.add_values("truncate", _rounder("truncate"), 1, 1, "Integer toward zero.")
+    reg.add_values("round", _rounder("round"), 1, 1, "Nearest integer (banker's).")

@@ -5,14 +5,14 @@ from __future__ import annotations
 
 from ...ops import Op
 from ..nodes import Node, NodeType
-from .helpers import as_number, eval_args, nodes_equal
+from .helpers import as_number, nodes_equal
 
 __all__ = ["register"]
 
 
 def _chain(name: str, op) -> object:
-    def impl(interp, env, ctx, args, depth) -> Node:
-        values = [as_number(n, name) for n in eval_args(interp, env, ctx, args, depth)]
+    def impl(interp, env, ctx, values, depth) -> Node:
+        values = [as_number(n, name) for n in values]
         ctx.charge(Op.ALU, max(1, len(values) - 1))
         ok = all(op(a, b) for a, b in zip(values, values[1:]))
         return interp.arena.new_bool(ok, ctx)
@@ -20,18 +20,18 @@ def _chain(name: str, op) -> object:
     return impl
 
 
-def _ne(interp, env, ctx, args, depth) -> Node:
+def _ne(interp, env, ctx, values, depth) -> Node:
     """(/= a b ...) — true when all arguments are pairwise distinct (CL)."""
-    values = [as_number(n, "/=") for n in eval_args(interp, env, ctx, args, depth)]
+    values = [as_number(n, "/=") for n in values]
     n = len(values)
     ctx.charge(Op.ALU, max(1, n * (n - 1) // 2))
     ok = all(values[i] != values[j] for i in range(n) for j in range(i + 1, n))
     return interp.arena.new_bool(ok, ctx)
 
 
-def _eq(interp, env, ctx, args, depth) -> Node:
+def _eq(interp, env, ctx, values, depth) -> Node:
     """Identity: the very same node (nil/T compare by type)."""
-    a, b = eval_args(interp, env, ctx, args, depth)
+    a, b = values
     ctx.charge(Op.ALU)
     same = a is b or (
         a.ntype == b.ntype and a.ntype in (NodeType.N_NIL, NodeType.N_TRUE)
@@ -39,9 +39,9 @@ def _eq(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_bool(same, ctx)
 
 
-def _eql(interp, env, ctx, args, depth) -> Node:
+def _eql(interp, env, ctx, values, depth) -> Node:
     """Identity, or same-type numbers/symbols with the same value."""
-    a, b = eval_args(interp, env, ctx, args, depth)
+    a, b = values
     ctx.charge(Op.ALU)
     if a is b:
         return interp.arena.new_true(ctx)
@@ -59,18 +59,18 @@ def _eql(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_nil(ctx)
 
 
-def _equal(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _equal(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     return interp.arena.new_bool(nodes_equal(a, b, ctx), ctx)
 
 
 def register(reg) -> None:
-    reg.add("=", _chain("=", lambda a, b: a == b), 1, None, "Numeric equality chain.")
-    reg.add("/=", _ne, 1, None, "All arguments pairwise distinct.")
-    reg.add("<", _chain("<", lambda a, b: a < b), 1, None, "Strictly increasing.")
-    reg.add(">", _chain(">", lambda a, b: a > b), 1, None, "Strictly decreasing.")
-    reg.add("<=", _chain("<=", lambda a, b: a <= b), 1, None, "Non-decreasing.")
-    reg.add(">=", _chain(">=", lambda a, b: a >= b), 1, None, "Non-increasing.")
-    reg.add("eq", _eq, 2, 2, "Node identity.")
-    reg.add("eql", _eql, 2, 2, "Identity or same-type same-value atom.")
-    reg.add("equal", _equal, 2, 2, "Structural equality.")
+    reg.add_values("=", _chain("=", lambda a, b: a == b), 1, None, "Numeric equality chain.")
+    reg.add_values("/=", _ne, 1, None, "All arguments pairwise distinct.")
+    reg.add_values("<", _chain("<", lambda a, b: a < b), 1, None, "Strictly increasing.")
+    reg.add_values(">", _chain(">", lambda a, b: a > b), 1, None, "Strictly decreasing.")
+    reg.add_values("<=", _chain("<=", lambda a, b: a <= b), 1, None, "Non-decreasing.")
+    reg.add_values(">=", _chain(">=", lambda a, b: a >= b), 1, None, "Non-increasing.")
+    reg.add_values("eq", _eq, 2, 2, "Node identity.")
+    reg.add_values("eql", _eql, 2, 2, "Identity or same-type same-value atom.")
+    reg.add_values("equal", _equal, 2, 2, "Structural equality.")

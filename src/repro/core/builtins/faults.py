@@ -20,7 +20,7 @@ from ...errors import (
     TypeMismatchError,
 )
 from ..nodes import Node, NodeType
-from .helpers import eval_args
+
 
 __all__ = ["register"]
 
@@ -41,8 +41,8 @@ _FAULTS = {
 }
 
 
-def _inject_fault(interp, env, ctx, args, depth) -> Node:
-    (kind,) = eval_args(interp, env, ctx, args, depth)
+def _inject_fault(interp, env, ctx, values, depth) -> Node:
+    (kind,) = values
     if kind.ntype != NodeType.N_STRING or kind.sval not in _FAULTS:
         raise TypeMismatchError(
             f"inject-fault expects one of {sorted(_FAULTS)} as a string"
@@ -51,10 +51,11 @@ def _inject_fault(interp, env, ctx, args, depth) -> Node:
 
 
 def register(reg) -> None:
-    reg.add(
+    reg.add_values(
         "inject-fault",
         _inject_fault,
         1,
         1,
         "Raise the named device fault (fault-injection test hook).",
+        pure=False,
     )

@@ -15,8 +15,8 @@ from ..nodes import Node
 __all__ = ["register"]
 
 
-def _print(interp, env, ctx, args, depth) -> Node:
-    value = interp.eval_node(args[0], env, ctx, depth)
+def _print(interp, env, ctx, values, depth) -> Node:
+    (value,) = values
     out = interp.current_output(ctx)
     out.append("\n")
     interp.printer_for(ctx).print_node(value, out, readable=True)
@@ -24,20 +24,23 @@ def _print(interp, env, ctx, args, depth) -> Node:
     return value
 
 
-def _princ(interp, env, ctx, args, depth) -> Node:
-    value = interp.eval_node(args[0], env, ctx, depth)
+def _princ(interp, env, ctx, values, depth) -> Node:
+    (value,) = values
     out = interp.current_output(ctx)
     interp.printer_for(ctx).print_node(value, out, readable=False)
     return value
 
 
-def _terpri(interp, env, ctx, args, depth) -> Node:
+def _terpri(interp, env, ctx, values, depth) -> Node:
     out = interp.current_output(ctx)
     out.append("\n")
     return interp.nil
 
 
 def register(reg) -> None:
-    reg.add("print", _print, 1, 1, "Newline + readable representation; returns value.")
-    reg.add("princ", _princ, 1, 1, "Raw representation; returns value.")
-    reg.add("terpri", _terpri, 0, 0, "Emit a newline; returns nil.")
+    reg.add_values("print", _print, 1, 1,
+                   "Newline + readable representation; returns value.", pure=False)
+    reg.add_values("princ", _princ, 1, 1,
+                   "Raw representation; returns value.", pure=False)
+    reg.add_values("terpri", _terpri, 0, 0,
+                   "Emit a newline; returns nil.", pure=False)

@@ -13,13 +13,13 @@ from __future__ import annotations
 from ...errors import EvalError, TypeMismatchError
 from ...ops import Op
 from ..nodes import REGION_TENURED, Node, NodeType, promote_subgraph
-from .helpers import as_int, build_list, eval_args, list_items, nodes_equal, require_list
+from .helpers import as_int, build_list, list_items, nodes_equal, require_list
 
 __all__ = ["register"]
 
 
-def _car(interp, env, ctx, args, depth) -> Node:
-    (lst,) = eval_args(interp, env, ctx, args, depth)
+def _car(interp, env, ctx, values, depth) -> Node:
+    (lst,) = values
     if not lst.is_nil:
         require_list(lst, "car")
     ctx.charge(Op.NODE_READ)
@@ -28,8 +28,8 @@ def _car(interp, env, ctx, args, depth) -> Node:
     return lst.first
 
 
-def _cdr(interp, env, ctx, args, depth) -> Node:
-    (lst,) = eval_args(interp, env, ctx, args, depth)
+def _cdr(interp, env, ctx, values, depth) -> Node:
+    (lst,) = values
     if lst.is_nil:
         return interp.nil
     require_list(lst, "cdr")
@@ -44,8 +44,8 @@ def _cdr(interp, env, ctx, args, depth) -> Node:
     return view.seal()
 
 
-def _cons(interp, env, ctx, args, depth) -> Node:
-    head, tail = eval_args(interp, env, ctx, args, depth)
+def _cons(interp, env, ctx, values, depth) -> Node:
+    head, tail = values
     if not (tail.is_nil or tail.is_list_like):
         raise TypeMismatchError(
             "cons: CuLi lists are node chains, not pairs; the second "
@@ -69,13 +69,11 @@ def _cons(interp, env, ctx, args, depth) -> Node:
     return lst.seal()
 
 
-def _list(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _list(interp, env, ctx, values, depth) -> Node:
     return build_list(interp, values, ctx)
 
 
-def _append(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _append(interp, env, ctx, values, depth) -> Node:
     if not values:
         return interp.nil
     out = interp.arena.alloc(NodeType.N_LIST, ctx)
@@ -103,22 +101,22 @@ def _append(interp, env, ctx, args, depth) -> Node:
     return out.seal()
 
 
-def _length(interp, env, ctx, args, depth) -> Node:
-    (lst,) = eval_args(interp, env, ctx, args, depth)
+def _length(interp, env, ctx, values, depth) -> Node:
+    (lst,) = values
     if lst.ntype == NodeType.N_STRING:
         ctx.charge(Op.CHAR_LOAD, len(lst.sval) + 1)
         return interp.arena.new_int(len(lst.sval), ctx)
     return interp.arena.new_int(len(list_items(lst, ctx, "length")), ctx)
 
 
-def _reverse(interp, env, ctx, args, depth) -> Node:
-    (lst,) = eval_args(interp, env, ctx, args, depth)
+def _reverse(interp, env, ctx, values, depth) -> Node:
+    (lst,) = values
     items = list_items(lst, ctx, "reverse")
     return build_list(interp, reversed(items), ctx)
 
 
-def _nth(interp, env, ctx, args, depth) -> Node:
-    idx_node, lst = eval_args(interp, env, ctx, args, depth)
+def _nth(interp, env, ctx, values, depth) -> Node:
+    idx_node, lst = values
     idx = as_int(idx_node, "nth")
     if idx < 0:
         raise EvalError("nth: negative index")
@@ -131,16 +129,16 @@ def _nth(interp, env, ctx, args, depth) -> Node:
     return node if node is not None else interp.nil
 
 
-def _last(interp, env, ctx, args, depth) -> Node:
-    (lst,) = eval_args(interp, env, ctx, args, depth)
+def _last(interp, env, ctx, values, depth) -> Node:
+    (lst,) = values
     require_list(lst, "last")
     ctx.charge(Op.NODE_READ)
     # O(1) thanks to the last_child pointer (paper Fig. 2).
     return lst.last if not lst.is_nil and lst.last is not None else interp.nil
 
 
-def _member(interp, env, ctx, args, depth) -> Node:
-    key, lst = eval_args(interp, env, ctx, args, depth)
+def _member(interp, env, ctx, values, depth) -> Node:
+    key, lst = values
     node = lst.first if (lst.is_list_like and not lst.is_nil) else None
     ctx.charge(Op.NODE_READ)
     while node is not None:
@@ -155,8 +153,8 @@ def _member(interp, env, ctx, args, depth) -> Node:
     return interp.nil
 
 
-def _assoc(interp, env, ctx, args, depth) -> Node:
-    key, table = eval_args(interp, env, ctx, args, depth)
+def _assoc(interp, env, ctx, values, depth) -> Node:
+    key, table = values
     for row in list_items(table, ctx, "assoc"):
         ctx.charge(Op.NODE_READ)
         if row.is_list_like and row.first is not None:
@@ -168,8 +166,8 @@ def _assoc(interp, env, ctx, args, depth) -> Node:
 def _accessor(name: str, path: str) -> object:
     """caar/cadr/cddr-style accessors; 'a' = first, 'd' = rest."""
 
-    def impl(interp, env, ctx, args, depth) -> Node:
-        (value,) = eval_args(interp, env, ctx, args, depth)
+    def impl(interp, env, ctx, values, depth) -> Node:
+        (value,) = values
         node = value
         for step in reversed(path):
             ctx.charge(Op.NODE_READ)
@@ -193,22 +191,22 @@ def _accessor(name: str, path: str) -> object:
 
 
 def register(reg) -> None:
-    reg.add("car", _car, 1, 1, "First element (nil for the empty list).")
-    reg.add("cdr", _cdr, 1, 1, "Rest of the list as a structure-shared view.")
-    reg.add("cons", _cons, 2, 2, "Prepend an element to a list.")
-    reg.add("list", _list, 0, None, "A fresh list of the evaluated arguments.")
-    reg.add("append", _append, 0, None, "Concatenate lists (final list shared).")
-    reg.add("length", _length, 1, 1, "List or string length.")
-    reg.add("reverse", _reverse, 1, 1, "A fresh reversed list.")
-    reg.add("nth", _nth, 2, 2, "Zero-based element access.")
-    reg.add("last", _last, 1, 1, "Last element (O(1) via the last pointer).")
-    reg.add("member", _member, 2, 2, "Sub-list starting at the first match.")
-    reg.add("assoc", _assoc, 2, 2, "First row whose head equals the key.")
-    reg.add("first", _accessor("first", "a"), 1, 1, "Alias of car.")
-    reg.add("rest", _accessor("rest", "d"), 1, 1, "Alias of cdr.")
-    reg.add("second", _accessor("second", "ad"), 1, 1, "(car (cdr x)).")
-    reg.add("third", _accessor("third", "add"), 1, 1, "(car (cdr (cdr x))).")
-    reg.add("caar", _accessor("caar", "aa"), 1, 1, "(car (car x)).")
-    reg.add("cadr", _accessor("cadr", "ad"), 1, 1, "(car (cdr x)).")
-    reg.add("cddr", _accessor("cddr", "dd"), 1, 1, "(cdr (cdr x)).")
-    reg.add("cdar", _accessor("cdar", "da"), 1, 1, "(cdr (car x)).")
+    reg.add_values("car", _car, 1, 1, "First element (nil for the empty list).")
+    reg.add_values("cdr", _cdr, 1, 1, "Rest of the list as a structure-shared view.")
+    reg.add_values("cons", _cons, 2, 2, "Prepend an element to a list.")
+    reg.add_values("list", _list, 0, None, "A fresh list of the evaluated arguments.")
+    reg.add_values("append", _append, 0, None, "Concatenate lists (final list shared).")
+    reg.add_values("length", _length, 1, 1, "List or string length.")
+    reg.add_values("reverse", _reverse, 1, 1, "A fresh reversed list.")
+    reg.add_values("nth", _nth, 2, 2, "Zero-based element access.")
+    reg.add_values("last", _last, 1, 1, "Last element (O(1) via the last pointer).")
+    reg.add_values("member", _member, 2, 2, "Sub-list starting at the first match.")
+    reg.add_values("assoc", _assoc, 2, 2, "First row whose head equals the key.")
+    reg.add_values("first", _accessor("first", "a"), 1, 1, "Alias of car.")
+    reg.add_values("rest", _accessor("rest", "d"), 1, 1, "Alias of cdr.")
+    reg.add_values("second", _accessor("second", "ad"), 1, 1, "(car (cdr x)).")
+    reg.add_values("third", _accessor("third", "add"), 1, 1, "(car (cdr (cdr x))).")
+    reg.add_values("caar", _accessor("caar", "aa"), 1, 1, "(car (car x)).")
+    reg.add_values("cadr", _accessor("cadr", "ad"), 1, 1, "(car (cdr x)).")
+    reg.add_values("cddr", _accessor("cddr", "dd"), 1, 1, "(cdr (cdr x)).")
+    reg.add_values("cdar", _accessor("cdar", "da"), 1, 1, "(cdr (car x)).")

@@ -32,8 +32,8 @@ def _or(interp, env, ctx, args, depth) -> Node:
     return interp.nil
 
 
-def _not(interp, env, ctx, args, depth) -> Node:
-    value = interp.eval_node(args[0], env, ctx, depth)
+def _not(interp, env, ctx, values, depth) -> Node:
+    (value,) = values
     ctx.charge(Op.BRANCH)
     return interp.arena.new_bool(not interp.truthy(value, ctx), ctx)
 
@@ -41,4 +41,4 @@ def _not(interp, env, ctx, args, depth) -> Node:
 def register(reg) -> None:
     reg.add("and", _and, 0, None, "Short-circuit conjunction; returns last value or nil.")
     reg.add("or", _or, 0, None, "Short-circuit disjunction; returns first truthy value.")
-    reg.add("not", _not, 1, 1, "Logical negation (nil -> T, else nil).")
+    reg.add_values("not", _not, 1, 1, "Logical negation (nil -> T, else nil).")

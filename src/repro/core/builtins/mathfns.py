@@ -11,7 +11,7 @@ import math
 from ...errors import EvalError
 from ...ops import Op
 from ..nodes import Node
-from .helpers import as_number, eval_args
+from .helpers import as_number
 
 __all__ = ["register"]
 
@@ -33,8 +33,8 @@ _UNARY = {
 def _unary(name: str):
     fn = _UNARY[name]
 
-    def impl(interp, env, ctx, args, depth) -> Node:
-        (node,) = eval_args(interp, env, ctx, args, depth)
+    def impl(interp, env, ctx, values, depth) -> Node:
+        (node,) = values
         value = as_number(node, name)
         ctx.charge(Op.FDIV)
         try:
@@ -46,8 +46,8 @@ def _unary(name: str):
     return impl
 
 
-def _atan2(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _atan2(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     ctx.charge(Op.FDIV)
     return interp.arena.new_float(
         math.atan2(as_number(a, "atan2"), as_number(b, "atan2")), ctx
@@ -56,13 +56,13 @@ def _atan2(interp, env, ctx, args, depth) -> Node:
 
 def register(reg) -> None:
     for name in _UNARY:
-        reg.add(name, _unary(name), 1, 1, f"{name}(x) as a float.")
-    reg.add("atan2", _atan2, 2, 2, "atan2(y, x).")
+        reg.add_values(name, _unary(name), 1, 1, f"{name}(x) as a float.")
+    reg.add_values("atan2", _atan2, 2, 2, "atan2(y, x).")
     # pi as a zero-argument builtin keeps the global env free of data
     # entries the paper does not describe.
-    reg.add(
+    reg.add_values(
         "pi",
-        lambda interp, env, ctx, args, depth: interp.arena.new_float(math.pi, ctx),
+        lambda interp, env, ctx, values, depth: interp.arena.new_float(math.pi, ctx),
         0,
         0,
         "The constant pi.",

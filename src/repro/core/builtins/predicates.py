@@ -5,14 +5,14 @@ from __future__ import annotations
 from ...errors import TypeMismatchError
 from ...ops import Op
 from ..nodes import Node, NodeType
-from .helpers import as_number, eval_args
+from .helpers import as_number
 
 __all__ = ["register"]
 
 
 def _pred(name: str, test) -> object:
-    def impl(interp, env, ctx, args, depth) -> Node:
-        (value,) = eval_args(interp, env, ctx, args, depth)
+    def impl(interp, env, ctx, values, depth) -> Node:
+        (value,) = values
         ctx.charge(Op.BRANCH)
         return interp.arena.new_bool(test(value), ctx)
 
@@ -20,8 +20,8 @@ def _pred(name: str, test) -> object:
 
 
 def _numpred(name: str, test) -> object:
-    def impl(interp, env, ctx, args, depth) -> Node:
-        (value,) = eval_args(interp, env, ctx, args, depth)
+    def impl(interp, env, ctx, values, depth) -> Node:
+        (value,) = values
         ctx.charge(Op.ALU)
         return interp.arena.new_bool(test(as_number(value, name)), ctx)
 
@@ -40,30 +40,30 @@ def _evenp_guard(v) -> bool:
 
 
 def register(reg) -> None:
-    reg.add("atom", _pred("atom", lambda n: not n.is_list_like or n.first is None),
+    reg.add_values("atom", _pred("atom", lambda n: not n.is_list_like or n.first is None),
             1, 1, "True for non-list values and the empty list.")
-    reg.add("null", _pred("null", _is_null), 1, 1, "True for nil / the empty list.")
-    reg.add("listp", _pred("listp", lambda n: n.is_list_like or n.is_nil),
+    reg.add_values("null", _pred("null", _is_null), 1, 1, "True for nil / the empty list.")
+    reg.add_values("listp", _pred("listp", lambda n: n.is_list_like or n.is_nil),
             1, 1, "True for lists and nil.")
-    reg.add("consp", _pred("consp", lambda n: n.is_list_like and n.first is not None),
+    reg.add_values("consp", _pred("consp", lambda n: n.is_list_like and n.first is not None),
             1, 1, "True for non-empty lists.")
-    reg.add("numberp", _pred(
+    reg.add_values("numberp", _pred(
         "numberp", lambda n: n.ntype in (NodeType.N_INT, NodeType.N_FLOAT)),
         1, 1, "True for numbers.")
-    reg.add("integerp", _pred("integerp", lambda n: n.ntype == NodeType.N_INT),
+    reg.add_values("integerp", _pred("integerp", lambda n: n.ntype == NodeType.N_INT),
             1, 1, "True for integers.")
-    reg.add("floatp", _pred("floatp", lambda n: n.ntype == NodeType.N_FLOAT),
+    reg.add_values("floatp", _pred("floatp", lambda n: n.ntype == NodeType.N_FLOAT),
             1, 1, "True for floats.")
-    reg.add("symbolp", _pred("symbolp", lambda n: n.ntype == NodeType.N_SYMBOL),
+    reg.add_values("symbolp", _pred("symbolp", lambda n: n.ntype == NodeType.N_SYMBOL),
             1, 1, "True for symbols.")
-    reg.add("stringp", _pred("stringp", lambda n: n.ntype == NodeType.N_STRING),
+    reg.add_values("stringp", _pred("stringp", lambda n: n.ntype == NodeType.N_STRING),
             1, 1, "True for strings.")
-    reg.add("functionp", _pred("functionp", lambda n: n.is_callable),
+    reg.add_values("functionp", _pred("functionp", lambda n: n.is_callable),
             1, 1, "True for builtins, forms and macros.")
-    reg.add("zerop", _numpred("zerop", lambda v: v == 0), 1, 1, "True for zero.")
-    reg.add("plusp", _numpred("plusp", lambda v: v > 0), 1, 1, "True for positives.")
-    reg.add("minusp", _numpred("minusp", lambda v: v < 0), 1, 1, "True for negatives.")
-    reg.add("evenp", _numpred("evenp", lambda v: _evenp_guard(v) and v % 2 == 0),
+    reg.add_values("zerop", _numpred("zerop", lambda v: v == 0), 1, 1, "True for zero.")
+    reg.add_values("plusp", _numpred("plusp", lambda v: v > 0), 1, 1, "True for positives.")
+    reg.add_values("minusp", _numpred("minusp", lambda v: v < 0), 1, 1, "True for negatives.")
+    reg.add_values("evenp", _numpred("evenp", lambda v: _evenp_guard(v) and v % 2 == 0),
             1, 1, "True for even integers.")
-    reg.add("oddp", _numpred("oddp", lambda v: _evenp_guard(v) and v % 2 == 1),
+    reg.add_values("oddp", _numpred("oddp", lambda v: _evenp_guard(v) and v % 2 == 1),
             1, 1, "True for odd integers.")

@@ -11,14 +11,14 @@ from ...errors import EvalError, TypeMismatchError
 from ...ops import Op
 from ..nodes import Node, NodeType
 from ...strlib import format_float, format_int, parse_number, str_cmp
-from .helpers import as_int, as_string, eval_args
+from .helpers import as_int, as_string
 
 __all__ = ["register"]
 
 
-def _string_append(interp, env, ctx, args, depth) -> Node:
+def _string_append(interp, env, ctx, values, depth) -> Node:
     parts = []
-    for node in eval_args(interp, env, ctx, args, depth):
+    for node in values:
         text = as_string(node, "string-append")
         ctx.charge(Op.CHAR_LOAD, len(text))
         ctx.charge(Op.CHAR_STORE, len(text))
@@ -27,15 +27,14 @@ def _string_append(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_string("".join(parts), ctx)
 
 
-def _string_length(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _string_length(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     text = as_string(node, "string-length")
     ctx.charge(Op.CHAR_LOAD, len(text) + 1)
     return interp.arena.new_int(len(text), ctx)
 
 
-def _substring(interp, env, ctx, args, depth) -> Node:
-    values = eval_args(interp, env, ctx, args, depth)
+def _substring(interp, env, ctx, values, depth) -> Node:
     text = as_string(values[0], "substring")
     start = as_int(values[1], "substring")
     end = as_int(values[2], "substring") if len(values) > 2 else len(text)
@@ -46,20 +45,20 @@ def _substring(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_string(text[start:end], ctx)
 
 
-def _string_eq(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _string_eq(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     result = str_cmp(as_string(a, "string="), as_string(b, "string="), ctx) == 0
     return interp.arena.new_bool(result, ctx)
 
 
-def _string_lt(interp, env, ctx, args, depth) -> Node:
-    a, b = eval_args(interp, env, ctx, args, depth)
+def _string_lt(interp, env, ctx, values, depth) -> Node:
+    a, b = values
     result = str_cmp(as_string(a, "string<"), as_string(b, "string<"), ctx) < 0
     return interp.arena.new_bool(result, ctx)
 
 
-def _symbol_name(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _symbol_name(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     if node.ntype != NodeType.N_SYMBOL:
         raise TypeMismatchError(f"symbol-name: expected a symbol, got {node.ntype.name}")
     ctx.charge(Op.CHAR_LOAD, len(node.sval))
@@ -68,8 +67,8 @@ def _symbol_name(interp, env, ctx, args, depth) -> Node:
 
 
 def _case(which: str):
-    def impl(interp, env, ctx, args, depth) -> Node:
-        (node,) = eval_args(interp, env, ctx, args, depth)
+    def impl(interp, env, ctx, values, depth) -> Node:
+        (node,) = values
         text = as_string(node, which)
         ctx.charge(Op.CHAR_LOAD, len(text))
         ctx.charge(Op.ALU, len(text))
@@ -80,8 +79,8 @@ def _case(which: str):
     return impl
 
 
-def _number_to_string(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _number_to_string(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     if node.ntype == NodeType.N_INT:
         text = format_int(node.ival, ctx)
     elif node.ntype == NodeType.N_FLOAT:
@@ -92,8 +91,8 @@ def _number_to_string(interp, env, ctx, args, depth) -> Node:
     return interp.arena.new_string(text, ctx)
 
 
-def _string_to_number(interp, env, ctx, args, depth) -> Node:
-    (node,) = eval_args(interp, env, ctx, args, depth)
+def _string_to_number(interp, env, ctx, values, depth) -> Node:
+    (node,) = values
     text = as_string(node, "string-to-number")
     ctx.charge(Op.CHAR_LOAD, len(text))
     value = parse_number(text, ctx)
@@ -103,13 +102,13 @@ def _string_to_number(interp, env, ctx, args, depth) -> Node:
 
 
 def register(reg) -> None:
-    reg.add("string-append", _string_append, 0, None, "Concatenate strings.")
-    reg.add("string-length", _string_length, 1, 1, "Length of a string.")
-    reg.add("substring", _substring, 2, 3, "(substring s start [end]).")
-    reg.add("string=", _string_eq, 2, 2, "String equality.")
-    reg.add("string<", _string_lt, 2, 2, "Lexicographic less-than.")
-    reg.add("symbol-name", _symbol_name, 1, 1, "Symbol's name as a string.")
-    reg.add("string-upcase", _case("string-upcase"), 1, 1, "Upper-case copy.")
-    reg.add("string-downcase", _case("string-downcase"), 1, 1, "Lower-case copy.")
-    reg.add("number-to-string", _number_to_string, 1, 1, "Format a number.")
-    reg.add("string-to-number", _string_to_number, 1, 1, "Parse a number or nil.")
+    reg.add_values("string-append", _string_append, 0, None, "Concatenate strings.")
+    reg.add_values("string-length", _string_length, 1, 1, "Length of a string.")
+    reg.add_values("substring", _substring, 2, 3, "(substring s start [end]).")
+    reg.add_values("string=", _string_eq, 2, 2, "String equality.")
+    reg.add_values("string<", _string_lt, 2, 2, "Lexicographic less-than.")
+    reg.add_values("symbol-name", _symbol_name, 1, 1, "Symbol's name as a string.")
+    reg.add_values("string-upcase", _case("string-upcase"), 1, 1, "Upper-case copy.")
+    reg.add_values("string-downcase", _case("string-downcase"), 1, 1, "Lower-case copy.")
+    reg.add_values("number-to-string", _number_to_string, 1, 1, "Format a number.")
+    reg.add_values("string-to-number", _string_to_number, 1, 1, "Parse a number or nil.")

@@ -29,7 +29,13 @@ from .symtab import SymbolTable
 if False:  # pragma: no cover - typing-only import (avoid a runtime cycle)
     from ..runtime.parse_cache import ParseCache
 
-__all__ = ["Interpreter", "InterpreterOptions", "sequential_engine"]
+__all__ = [
+    "Interpreter",
+    "InterpreterOptions",
+    "CommandPlan",
+    "PlanStep",
+    "sequential_engine",
+]
 
 #: engine(interp, fn_node, rows, env, ctx, depth) -> list of result nodes
 ParallelEngine = Callable[..., list]
@@ -86,6 +92,14 @@ class InterpreterOptions:
     #: a request deterministically. Off by default — the builtin table,
     #: and therefore the literal figures, are untouched unless asked.
     enable_fault_injection: bool = False
+    #: JIT trace tier (DESIGN.md deviation #10): compile parse-cache-hot
+    #: top-level forms to flat register traces and run them on the
+    #: non-recursive trace executor, with guards that bail back to the
+    #: tree-walker. Requires the parse cache (hotness is defined by it).
+    jit: bool = False
+    #: Entry use count (populating miss + hits) at which a cached text's
+    #: forms are compiled. 3 means the third sighting runs traced.
+    jit_threshold: int = 3
 
     GC_POLICIES = ("literal", "full", "generational")
 
@@ -98,6 +112,35 @@ class InterpreterOptions:
         overrides.setdefault("parse_cache_capacity", 256)
         overrides.setdefault("gc_policy", "generational")
         return cls(**overrides)
+
+
+class PlanStep:
+    """One top-level form of a prepared command: either a materialized
+    AST for the tree-walker, or a compiled trace (plus its template, so
+    a guard bail can still materialize and tree-walk the form)."""
+
+    __slots__ = ("form", "trace", "template")
+
+    def __init__(self, form=None, trace=None, template=None) -> None:
+        self.form = form
+        self.trace = trace
+        self.template = template
+
+    @property
+    def traced(self) -> bool:
+        return self.trace is not None
+
+
+class CommandPlan:
+    """The executable plan for one REPL command (all its PlanSteps)."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: list) -> None:
+        self.steps = steps
+
+    def __len__(self) -> int:
+        return len(self.steps)
 
 
 class Interpreter:
@@ -129,6 +172,15 @@ class Interpreter:
             from ..runtime.parse_cache import ParseCache
 
             self.parse_cache = ParseCache(self.options.parse_cache_capacity)
+        if self.options.jit and self.parse_cache is None:
+            raise ValueError(
+                "the jit trace tier requires the parse cache "
+                "(set parse_cache_capacity > 0): hotness is defined by "
+                "cache hit counts and traces live on cache entries"
+            )
+        from ..jit.trace import JitStats
+
+        self.jit_stats = JitStats()
         self.registry: BuiltinRegistry = install_all(BuiltinRegistry())
         if self.options.enable_fault_injection:
             from .builtins import faults
@@ -308,6 +360,76 @@ class Interpreter:
         cache.put(text, forms)
         return forms
 
+    # -- the JIT trace tier (DESIGN.md deviation #10) -----------------------------------
+
+    def prepare_command(self, source: str | SourceBuffer, ctx: ExecContext) -> CommandPlan:
+        """Parse one command into an executable :class:`CommandPlan`.
+
+        With the JIT off this is exactly :meth:`parse_source` (same
+        charges, tree-walk steps). With it on, a cache entry whose use
+        count has crossed ``jit_threshold`` is compiled once (uncharged
+        host work, like cache population) and its traceable forms become
+        trace steps — which skip the charged per-node materialization
+        entirely; untraceable forms in the same entry still materialize
+        and tree-walk.
+        """
+        if not self.options.jit:
+            return CommandPlan([PlanStep(form=f) for f in self.parse_source(source, ctx)])
+        cache = self.parse_cache
+        assert cache is not None  # enforced at construction
+        text = source.text if isinstance(source, SourceBuffer) else source
+        entry = cache.get_entry(text, ctx)
+        if entry is None:
+            forms = Parser(self, ctx).parse(source)
+            cache.put(text, forms)
+            return CommandPlan([PlanStep(form=f) for f in forms])
+        if entry.uses >= self.options.jit_threshold and not entry.trace_failed:
+            if entry.traces is None:
+                from ..jit.compiler import compile_form
+
+                traces = [compile_form(t, self) for t in entry.templates]
+                if any(trace is not None for trace in traces):
+                    entry.traces = traces
+                    self.jit_stats.traces_compiled += sum(
+                        1 for trace in traces if trace is not None
+                    )
+                else:
+                    entry.trace_failed = True
+            if entry.traces is not None:
+                steps = []
+                for template, trace in zip(entry.templates, entry.traces):
+                    if trace is None:
+                        steps.append(PlanStep(
+                            form=cache.materialize_one(template, self.arena, ctx)
+                        ))
+                    else:
+                        steps.append(PlanStep(trace=trace, template=template))
+                return CommandPlan(steps)
+        forms = cache.materialize(entry.templates, self.arena, ctx)
+        return CommandPlan([PlanStep(form=f) for f in forms])
+
+    def run_plan_step(self, step: PlanStep, env: Environment, ctx: ExecContext) -> Node:
+        """Evaluate one plan step (EVAL phase): trace, or tree-walk.
+
+        A :class:`~repro.jit.executor.TraceBail` (a stale guard caught at
+        preflight, before any instruction ran) falls back transparently:
+        the form's template is materialized — charged, now, in the
+        current phase — and tree-walked.
+        """
+        if step.trace is None:
+            return self.eval_node(step.form, env, ctx, 0)
+        from ..jit.executor import TraceBail, execute_trace
+
+        try:
+            result = execute_trace(step.trace, self, env, ctx)
+        except TraceBail:
+            self.jit_stats.guard_bails += 1
+            assert self.parse_cache is not None
+            form = self.parse_cache.materialize_one(step.template, self.arena, ctx)
+            return self.eval_node(form, env, ctx, 0)
+        self.jit_stats.trace_hits += 1
+        return result
+
     # -- the paper's execution flow (Fig. 5) ------------------------------------------
 
     def process(
@@ -333,12 +455,12 @@ class Interpreter:
         self.begin_command_region()
 
         ctx.set_phase(Phase.PARSE)
-        forms = self.parse_source(source, ctx)
+        plan = self.prepare_command(source, ctx)
 
         ctx.set_phase(Phase.EVAL)
         self.push_output(out)
         try:
-            results = [self.eval_node(form, env, ctx, 0) for form in forms]
+            results = [self.run_plan_step(step, env, ctx) for step in plan.steps]
         finally:
             self.pop_output()
 

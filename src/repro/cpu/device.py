@@ -200,6 +200,7 @@ class CPUDevice:
         self.engine.begin_command()
         jobs_before = self.engine.jobs
         rounds_before = self.engine.round_count
+        jit0 = self.interp.jit_stats.as_dict()
         # One nursery region for the whole batch; collection runs once
         # per batch wave-set, never per request.
         self.interp.begin_command_region()
@@ -316,6 +317,7 @@ class CPUDevice:
                     error=errors[i],
                 )
             )
+        jit1 = self.interp.jit_stats.as_dict()
         return BatchResult(
             items=items,
             times=batch_times,
@@ -325,4 +327,7 @@ class CPUDevice:
             regions_reset=regions_reset,
             major_collections=majors,
             gc_wall_ms=gc_wall_ms,
+            traces_compiled=jit1["traces_compiled"] - jit0["traces_compiled"],
+            trace_hits=jit1["trace_hits"] - jit0["trace_hits"],
+            guard_bails=jit1["guard_bails"] - jit0["guard_bails"],
         )

@@ -36,6 +36,13 @@ The two fast-path ops (an ablation beyond the paper, never emitted in
 literal mode) are costed conservatively: ``sym_cmp`` is one register
 compare (ALU-class), ``hash_probe`` is a hash computation plus one
 dependent global-memory load (slightly above ``node_read``).
+
+The two JIT trace-tier ops (also an ablation, emitted only under
+``InterpreterOptions.jit``) follow the same discipline: ``trace_step``
+is one fetch/decode/dispatch of a flat trace instruction (ALU-class —
+the point of the trace is that dispatch is a table jump, not a
+recursive CALL), and ``guard_check`` is a compare plus a predicated
+branch (between ``sym_cmp`` and ``hash_probe``).
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ _FERMI = CostTable.build(
     branch=10, call=40,
     node_read=50, node_write=14, node_alloc=18,
     env_step=40, sym_char_cmp=8, sym_cmp=14, hash_probe=62,
+    trace_step=10, guard_check=16,
     char_load=60, char_store=24, parse_step=18, print_step=786,
     atomic_rmw=110, atomic_load=120, barrier=40, fence=25,
     postbox_read=60, postbox_write=40,
@@ -76,6 +84,7 @@ _KEPLER = CostTable.build(
     branch=8, call=32,
     node_read=28, node_write=8, node_alloc=12,
     env_step=30, sym_char_cmp=6, sym_cmp=9, hash_probe=36,
+    trace_step=7, guard_check=10,
     char_load=430, char_store=30, parse_step=65, print_step=567,
     atomic_rmw=65, atomic_load=90, barrier=30, fence=20,
     postbox_read=35, postbox_write=35,
@@ -87,6 +96,7 @@ _MAXWELL = CostTable.build(
     branch=7, call=28,
     node_read=26, node_write=7, node_alloc=10,
     env_step=28, sym_char_cmp=5, sym_cmp=6, hash_probe=32,
+    trace_step=6, guard_check=8,
     char_load=1400, char_store=26, parse_step=180, print_step=590,
     atomic_rmw=58, atomic_load=70, barrier=24, fence=16,
     postbox_read=32, postbox_write=30,
@@ -98,6 +108,7 @@ _PASCAL = CostTable.build(
     branch=6, call=26,
     node_read=22, node_write=6, node_alloc=8,
     env_step=24, sym_char_cmp=5, sym_cmp=6, hash_probe=28,
+    trace_step=5, guard_check=7,
     char_load=1080, char_store=22, parse_step=130, print_step=305,
     atomic_rmw=48, atomic_load=60, barrier=20, fence=14,
     postbox_read=28, postbox_write=25,
@@ -114,6 +125,7 @@ _VOLTA = CostTable.build(
     branch=5, call=22,
     node_read=18, node_write=5, node_alloc=6,
     env_step=18, sym_char_cmp=4, sym_cmp=5, hash_probe=22,
+    trace_step=4, guard_check=6,
     char_load=300, char_store=18, parse_step=55, print_step=180,
     atomic_rmw=36, atomic_load=45, barrier=16, fence=10,
     postbox_read=20, postbox_write=18,
@@ -137,6 +149,7 @@ CPU_INTEL_COSTS = CostTable.build(
     branch=0.6, call=2,
     node_read=1.2, node_write=1.5, node_alloc=2,
     env_step=0.7, sym_char_cmp=0.2, sym_cmp=0.5, hash_probe=1.5,
+    trace_step=0.5, guard_check=1,
     char_load=0.8, char_store=1, parse_step=1.2, print_step=1.2,
     atomic_rmw=14, atomic_load=4, barrier=30, fence=8,
     postbox_read=3, postbox_write=6,
@@ -148,6 +161,7 @@ CPU_AMD_COSTS = CostTable.build(
     branch=0.9, call=2.8,
     node_read=1.6, node_write=1.8, node_alloc=2.5,
     env_step=1.2, sym_char_cmp=0.3, sym_cmp=0.7, hash_probe=2.0,
+    trace_step=0.8, guard_check=1.5,
     char_load=0.9, char_store=1.1, parse_step=1.2, print_step=1.2,
     atomic_rmw=18, atomic_load=5, barrier=40, fence=10,
     postbox_read=3.5, postbox_write=8,

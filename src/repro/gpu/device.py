@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from ..context import CountingContext
-from ..core.interpreter import Interpreter, InterpreterOptions
+from ..core.interpreter import CommandPlan, Interpreter, InterpreterOptions
 from ..core.printer import Printer
 from ..errors import DeviceShutdownError
 from ..gpu.cache import SetAssociativeCache
@@ -320,6 +320,9 @@ class GPUDevice:
                 merged.regions_reset += part.regions_reset
                 merged.major_collections += part.major_collections
                 merged.gc_wall_ms += part.gc_wall_ms
+                merged.traces_compiled += part.traces_compiled
+                merged.trace_hits += part.trace_hits
+                merged.guard_bails += part.guard_bails
             return merged
         return self._submit_batch_txn(requests, texts)
 
@@ -395,6 +398,7 @@ class GPUDevice:
         cache_hits0 = self.cache.stats.hits
         cache_miss0 = self.cache.stats.misses
         self.cmdbuf.device_read()  # master wakes once for the whole batch
+        jit0 = self.interp.jit_stats.as_dict()
         # One nursery region serves the whole batch transaction: every
         # tenant's temporaries land in it, escapes are promoted by the
         # write barriers, and collection runs once per service round —
@@ -414,7 +418,7 @@ class GPUDevice:
                     base=self.output_region.base, capacity=self.cmdbuf.capacity
                 )
                 env = req.env if req.env is not None else self.interp.global_env
-                job = ServiceJob([], env, out)
+                job = ServiceJob(CommandPlan([]), env, out)
                 if i in pre_errors:
                     job.error = pre_errors[i]
                     jobs.append(job)
@@ -422,7 +426,7 @@ class GPUDevice:
                 c0 = self.master_cycles(Phase.PARSE)
                 checkpoint = self.interp.arena.region_watermark()
                 try:
-                    job.forms = self.interp.parse_source(
+                    job.plan = self.interp.prepare_command(
                         SourceBuffer(
                             text, base=self.input_region.base + base_offsets[i]
                         ),
@@ -536,6 +540,7 @@ class GPUDevice:
                     error=job.error,
                 )
             )
+        jit1 = self.interp.jit_stats.as_dict()
         return BatchResult(
             items=items,
             times=batch_times,
@@ -545,4 +550,7 @@ class GPUDevice:
             regions_reset=regions_reset,
             major_collections=majors,
             gc_wall_ms=gc_wall_ms,
+            traces_compiled=jit1["traces_compiled"] - jit0["traces_compiled"],
+            trace_hits=jit1["trace_hits"] - jit0["trace_hits"],
+            guard_bails=jit1["guard_bails"] - jit0["guard_bails"],
         )

@@ -46,15 +46,18 @@ __all__ = ["GPUParallelEngine", "RoundReport", "ServiceJob"]
 class ServiceJob:
     """One tenant request distributed as a worker job (serving layer).
 
-    ``forms`` are the request's parsed top-level forms, ``env`` the
-    tenant's persistent environment, ``out`` the request's private output
-    buffer (``princ`` during worker evaluation lands there).
+    ``plan`` is the request's prepared :class:`~repro.core.interpreter.
+    CommandPlan` — materialized top-level forms for the tree-walker,
+    and/or compiled trace steps when the JIT tier promoted the request
+    text — ``env`` the tenant's persistent environment, ``out`` the
+    request's private output buffer (``princ`` during worker evaluation
+    lands there).
     """
 
-    __slots__ = ("forms", "env", "out", "results", "error")
+    __slots__ = ("plan", "env", "out", "results", "error")
 
-    def __init__(self, forms, env, out) -> None:
-        self.forms = forms
+    def __init__(self, plan, env, out) -> None:
+        self.plan = plan
         self.env = env
         self.out = out
         self.results: Optional[list[Node]] = None
@@ -376,7 +379,7 @@ class GPUParallelEngine:
                 for j, job in enumerate(round_jobs):
                     master.charge(Op.NODE_READ)  # fetch request root
                     box = dev.postboxes[grid.worker_tid(slots[j])]
-                    box.assign(job.forms, master)
+                    box.assign(job.plan, master)
                 if dev.enable_block_sync_flag:
                     master.charge(Op.ATOMIC_RMW, warps_touched)
                     if last_round:
@@ -406,8 +409,8 @@ class GPUParallelEngine:
                     checkpoint = interp.arena.region_watermark()
                     try:
                         job.results = [
-                            interp.eval_node(form, job.env, wctx, 0)
-                            for form in job.forms
+                            interp.run_plan_step(step, job.env, wctx)
+                            for step in job.plan.steps
                         ]
                     except LispError as exc:
                         job.error = exc

@@ -64,6 +64,12 @@ class Op(IntEnum):
     SYM_CMP = 23       #: compare two interned symbol ids (one register cmp)
     HASH_PROBE = 24    #: probe a hashed binding index (hash + one load)
 
+    # JIT trace-tier ops (the bytecode ablation over cache-hot forms).
+    # Charged only when InterpreterOptions.jit is on; the literal paper
+    # mode and the plain fast path never emit them.
+    TRACE_STEP = 25    #: fetch/decode/dispatch one trace instruction
+    GUARD_CHECK = 26   #: verify one trace guard (load + compare + branch)
+
 
 N_OPS = len(Op)
 

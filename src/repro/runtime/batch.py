@@ -82,6 +82,13 @@ class BatchResult:
     regions_reset: int = 0       #: nursery regions reclaimed (minor GCs)
     major_collections: int = 0   #: full mark-sweep passes triggered
     gc_wall_ms: float = 0.0      #: host wall time spent collecting
+    # JIT trace-tier work performed by this batch (trace-tier PR): how
+    # many cache-hot texts were compiled, how many forms ran as traces,
+    # and how many trace executions bailed to the tree-walker on a
+    # stale guard. All zero when ``InterpreterOptions.jit`` is off.
+    traces_compiled: int = 0
+    trace_hits: int = 0
+    guard_bails: int = 0
 
     @property
     def size(self) -> int:

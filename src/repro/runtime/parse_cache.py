@@ -34,7 +34,7 @@ from ..core.arena import NodeArena
 from ..core.nodes import Node, NodeType
 from ..ops import Op
 
-__all__ = ["TemplateNode", "ParseCacheStats", "ParseCache"]
+__all__ = ["TemplateNode", "ParseCacheStats", "CacheEntry", "ParseCache"]
 
 
 class TemplateNode:
@@ -100,6 +100,27 @@ _SNAPSHOTTABLE = frozenset(
 )
 
 
+class CacheEntry:
+    """One cached source text: its templates plus JIT promotion state.
+
+    ``uses`` counts lookups of this entry (hits plus the populating
+    miss); the interpreter's JIT tier promotes an entry to a compiled
+    trace once ``uses`` crosses its threshold. ``traces`` holds one
+    compiled trace (or None for an untraceable form) per top-level
+    template, and lives *on the entry object* so that LRU eviction or a
+    same-key re-put structurally drops the traces with the templates —
+    a recycled key can never serve another text's trace.
+    """
+
+    __slots__ = ("templates", "uses", "traces", "trace_failed")
+
+    def __init__(self, templates: list[TemplateNode]) -> None:
+        self.templates = templates
+        self.uses = 0
+        self.traces: Optional[list] = None  #: list[Optional[Trace]] once compiled
+        self.trace_failed = False           #: compile attempted, nothing traceable
+
+
 class ParseCache:
     """LRU memo of parsed top-level forms, keyed by request source text."""
 
@@ -107,7 +128,7 @@ class ParseCache:
         if capacity <= 0:
             raise ValueError("parse cache capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, list[TemplateNode]]" = OrderedDict()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.stats = ParseCacheStats()
 
     def __len__(self) -> int:
@@ -125,13 +146,20 @@ class ParseCache:
         to upload), so a miss charges nothing — the caller falls through
         to the charged parse.
         """
-        templates = self._entries.get(text)
-        if templates is None:
+        entry = self.get_entry(text, ctx)
+        return None if entry is None else entry.templates
+
+    def get_entry(self, text: str, ctx: ExecContext) -> Optional["CacheEntry"]:
+        """Like :meth:`get`, but returns the whole :class:`CacheEntry`
+        (the JIT tier needs the use counter and the trace slots)."""
+        entry = self._entries.get(text)
+        if entry is None:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(text)
         self.stats.hits += 1
-        return templates
+        entry.uses += 1
+        return entry
 
     # -- population ---------------------------------------------------------------
 
@@ -150,7 +178,12 @@ class ParseCache:
                 self.stats.uncacheable += 1
                 return False
             templates.append(template)
-        self._entries[text] = templates
+        # A fresh CacheEntry on every put: re-putting an existing key
+        # (or later evicting it) drops any compiled traces along with
+        # the old templates.
+        entry = CacheEntry(templates)
+        entry.uses = 1
+        self._entries[text] = entry
         self._entries.move_to_end(text)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -184,9 +217,37 @@ class ParseCache:
         """
         return [self._materialize_one(t, arena, ctx) for t in templates]
 
-    def _materialize_one(
-        self, template: TemplateNode, arena: NodeArena, ctx: ExecContext
+    def materialize_one(
+        self,
+        template: TemplateNode,
+        arena: NodeArena,
+        ctx: ExecContext,
+        memo: Optional[dict] = None,
     ) -> Node:
+        """Deep-copy one template (or sub-template) into fresh arena
+        nodes — the single-node entry point the JIT trace executor uses
+        for literals, quoted structure, and guard-bail fallback.
+
+        ``memo`` (template id -> materialized node) makes repeated calls
+        within one trace execution share nodes exactly the way a single
+        whole-tree materialization would: a sub-template already built —
+        say, as part of another literal's sibling chain — is returned,
+        not re-copied, so the traced heap has one node per tree position
+        just like the tree-walker's.
+        """
+        return self._materialize_one(template, arena, ctx, memo)
+
+    def _materialize_one(
+        self,
+        template: TemplateNode,
+        arena: NodeArena,
+        ctx: ExecContext,
+        memo: Optional[dict] = None,
+    ) -> Node:
+        if memo is not None:
+            done = memo.get(id(template))
+            if done is not None:
+                return done
         node = arena.alloc(template.ntype, ctx)  # charges NODE_ALLOC
         ctx.charge(Op.NODE_READ)      # fetch the template node
         ctx.charge(Op.NODE_WRITE, 2)  # store value + link fields
@@ -195,6 +256,10 @@ class ParseCache:
         node.sval = template.sval
         node.sym_id = template.sym_id
         self.stats.nodes_materialized += 1
+        if memo is not None:
+            memo[id(template)] = node
         for child_template in template.children:
-            node.append_child(self._materialize_one(child_template, arena, ctx))
+            node.append_child(
+                self._materialize_one(child_template, arena, ctx, memo)
+            )
         return node.seal()

@@ -19,6 +19,7 @@ and a :class:`~repro.serve.stats.ServerStats` surface. Usage::
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from itertools import count
 from typing import Optional, Sequence
@@ -60,6 +61,7 @@ class CuLiServer:
         cpu_config: Optional[CPUDeviceConfig] = None,
         fast_path: bool = True,
         gc_policy: Optional[str] = None,
+        jit: Optional[bool] = None,
         rebalance: bool = False,
         rebalancer: Optional[Rebalancer] = None,
     ) -> None:
@@ -73,6 +75,12 @@ class CuLiServer:
         # policy of the fast path ("generational" default, "full" for
         # the charged mark-sweep baseline — see DESIGN.md deviation #7).
         # An explicitly passed device config always wins over both flags.
+        # ``jit`` adds the trace tier on top of the fast path (the third
+        # rung of the tier ladder): cache-hot request texts compile to
+        # flat register traces instead of re-walking the tree. Serving
+        # defaults it ON; ``jit=False`` keeps fast-path serving on the
+        # tree-walker for ablations. It needs the parse cache, so it is
+        # meaningless (and rejected) under the literal paper mode.
         self.fast_path = fast_path
         if gc_policy is not None and not fast_path:
             raise ValueError(
@@ -80,8 +88,21 @@ class CuLiServer:
                 "fast_path=False always runs the literal collector "
                 "(pass an explicit device config to mix modes)"
             )
+        if jit and not fast_path:
+            raise ValueError(
+                "the jit trace tier requires fast-path serving (the "
+                "parse cache defines hotness); pass an explicit device "
+                "config to mix modes"
+            )
         if fast_path:
             fast_overrides = {} if gc_policy is None else {"gc_policy": gc_policy}
+            if jit is None:
+                # Default ON, but let the environment force the tree-walk
+                # ablation fleet-wide (CI's tier matrix re-runs the serving
+                # suites with REPRO_SERVE_JIT=0). An explicit ``jit=``
+                # argument always wins over the environment.
+                jit = os.environ.get("REPRO_SERVE_JIT", "1") != "0"
+            fast_overrides["jit"] = jit
             if gpu_config is None:
                 gpu_config = GPUDeviceConfig(
                     interpreter=InterpreterOptions.fast(**fast_overrides)

@@ -82,6 +82,12 @@ class ServerStats:
         self.gc_regions_reset = 0
         self.gc_major_collections = 0
         self.gc_wall_ms = 0.0
+        # JIT trace-tier counters (bytecode trace PR): cache-hot texts
+        # compiled, forms executed as traces, and trace executions that
+        # bailed to the tree-walker on a stale guard.
+        self.jit_traces_compiled = 0
+        self.jit_trace_hits = 0
+        self.jit_guard_bails = 0
         # Elastic-rebalancing counters (heap snapshot / migration PR):
         # sessions moved between devices, the heap volume they carried,
         # the modeled transfer time charged for the moves, devices
@@ -127,6 +133,9 @@ class ServerStats:
         self.gc_regions_reset += result.regions_reset
         self.gc_major_collections += result.major_collections
         self.gc_wall_ms += result.gc_wall_ms
+        self.jit_traces_compiled += result.traces_compiled
+        self.jit_trace_hits += result.trace_hits
+        self.jit_guard_bails += result.guard_bails
         dstats = self.per_device[device_id]
         dstats.busy_ms += result.times.total_ms
         dstats.batches += 1
@@ -270,6 +279,11 @@ class ServerStats:
                 "simulated_ms": self.phase_totals.gc_ms,
                 "wall_ms": self.gc_wall_ms,
             },
+            "jit": {
+                "traces_compiled": self.jit_traces_compiled,
+                "trace_hits": self.jit_trace_hits,
+                "guard_bails": self.jit_guard_bails,
+            },
             "rebalance": {
                 "migrations": self.sessions_migrated,
                 "nodes_moved": self.migration_nodes,
@@ -317,6 +331,9 @@ class ServerStats:
             f"{snap['gc']['regions_reset']} region resets + "
             f"{snap['gc']['major_collections']} major collections "
             f"({snap['gc']['simulated_ms']:.3f} ms simulated)",
+            f"jit:      {snap['jit']['traces_compiled']} traces compiled, "
+            f"{snap['jit']['trace_hits']} trace hits, "
+            f"{snap['jit']['guard_bails']} guard bails",
             f"rebalance: {snap['rebalance']['migrations']} migrations "
             f"({snap['rebalance']['nodes_moved']} nodes, "
             f"{snap['rebalance']['transfer_ms']:.3f} ms transfer), "
