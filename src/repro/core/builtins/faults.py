@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from ...errors import (
     ArenaExhaustedError,
+    DeviceHangError,
+    DeviceLostError,
     DeviceShutdownError,
     HostProtocolError,
     LivelockError,
@@ -25,7 +27,12 @@ from ..nodes import Node, NodeType
 __all__ = ["register"]
 
 #: kind -> exception factory. "arena-exhausted"/"livelock"/"memory-fault"
-#: are containable per-job faults; "shutdown"/"protocol" are batch-fatal.
+#: are containable per-job faults; "shutdown"/"protocol" are batch-fatal
+#: (the device survives); "device-lost"/"device-hang" are device *losses*
+#: (the device does not survive — with a supervisor installed they
+#: trigger checkpoint failover, without one they degrade to batch-fatal
+#: quarantine), which makes whole-device chaos scenarios scriptable from
+#: Lisp programs, not just from the host harness.
 _FAULTS = {
     "arena-exhausted": lambda: ArenaExhaustedError(
         "injected fault: node arena exhausted"
@@ -37,6 +44,12 @@ _FAULTS = {
     "shutdown": lambda: DeviceShutdownError("injected fault: device shut down"),
     "protocol": lambda: HostProtocolError(
         "injected fault: command buffer corrupted"
+    ),
+    "device-lost": lambda: DeviceLostError(
+        "injected fault: device fell off the bus"
+    ),
+    "device-hang": lambda: DeviceHangError(
+        "injected fault: device stopped responding mid-round"
     ),
 }
 

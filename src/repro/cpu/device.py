@@ -17,7 +17,12 @@ import numpy as np
 
 from ..context import CountingContext
 from ..core.interpreter import Interpreter, InterpreterOptions
-from ..errors import DeviceShutdownError, LispError, is_containable_fault
+from ..errors import (
+    DeviceLostError,
+    DeviceShutdownError,
+    LispError,
+    is_containable_fault,
+)
 from ..gpu.hostlink import parens_balanced, sanitize_input, unbalanced_error
 from ..gpu.memory import OutputBuffer, SourceBuffer
 from ..errors import UnbalancedInputError
@@ -68,6 +73,7 @@ class CPUDevice:
 
         self.commands_executed = 0
         self._closed = False
+        self._lost_reason: Optional[str] = None
 
     # -- accounting ---------------------------------------------------------------
 
@@ -104,6 +110,23 @@ class CPUDevice:
     def closed(self) -> bool:
         return self._closed
 
+    # -- device loss (failover support) -------------------------------------------
+
+    def mark_lost(self, reason: str = "device lost") -> None:
+        """Simulate a whole-device crash (a pthread pool's host dying is
+        rarer than a GPU falling off the bus, but the fleet treats both
+        the same): subsequent submits raise
+        :class:`~repro.errors.DeviceLostError` until force-reset."""
+        self._lost_reason = reason
+
+    @property
+    def lost(self) -> bool:
+        return self._lost_reason is not None
+
+    def _check_lost(self) -> None:
+        if self._lost_reason is not None:
+            raise DeviceLostError(f"device {self.name} lost: {self._lost_reason}")
+
     # -- tenant environments (multi-tenant serving) -------------------------------
 
     def create_session_env(self, label: str = "session") -> "Environment":
@@ -124,6 +147,7 @@ class CPUDevice:
     ) -> CommandStats:
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
+        self._check_lost()
         if sanitize:
             text = sanitize_input(text)
         if not parens_balanced(text):
@@ -191,6 +215,7 @@ class CPUDevice:
         """
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
+        self._check_lost()
         requests = list(requests)
         n = len(requests)
         if n == 0:

@@ -107,6 +107,32 @@ class DeviceShutdownError(DeviceError):
     """An operation was issued to a device that has been shut down."""
 
 
+class DeviceLostError(DeviceError):
+    """The whole device crashed mid-round (ECC error, driver reset,
+    falling off the bus): everything resident on it — every tenant's
+    arena state, the in-flight batch — is gone.
+
+    Unlike the other device-fatal errors, the device does *not* come
+    back usable by itself: the serving layer's supervisor must
+    force-reset it (a fresh device object, empty arena) and rebuild the
+    victim sessions from their last checkpoints on surviving devices.
+    Never containable — a crash cannot be scoped to one job.
+    """
+
+
+class DeviceHangError(DeviceLostError):
+    """The device stopped responding: a service round exceeded its
+    wall-time deadline or the heartbeat went silent.
+
+    Classified as a *loss* (subclass of :class:`DeviceLostError`)
+    because the only recovery is a force-reset: whatever the hung round
+    computed never reached the host, so the supervisor discards it and
+    replays from the last checkpoint — the at-least-once corner of the
+    failover contract (a hung batch may have committed device-side
+    effects that are wiped with the reset and re-executed).
+    """
+
+
 class MemoryFaultError(DeviceError):
     """An out-of-bounds access on simulated global memory."""
 
@@ -117,6 +143,13 @@ def is_containable_fault(exc: BaseException) -> bool:
     """True when a per-job handler may contain ``exc`` instead of
     aborting its batch (see :class:`DeviceError`)."""
     return isinstance(exc, DeviceError) and exc.containable
+
+
+def is_device_loss(exc: BaseException) -> bool:
+    """True when ``exc`` means the device itself is gone (crash or
+    hang): the batch cannot be retried on it and resident sessions must
+    fail over to their last checkpoints (see :class:`DeviceLostError`)."""
+    return isinstance(exc, DeviceLostError)
 
 
 # ---------------------------------------------------------------------------

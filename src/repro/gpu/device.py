@@ -22,7 +22,7 @@ import numpy as np
 from ..context import CountingContext
 from ..core.interpreter import CommandPlan, Interpreter, InterpreterOptions
 from ..core.printer import Printer
-from ..errors import DeviceShutdownError
+from ..errors import DeviceLostError, DeviceShutdownError
 from ..gpu.cache import SetAssociativeCache
 from ..gpu.fileio import FileServiceLink, HostFileSystem
 from ..gpu.grid import GridConfig
@@ -124,6 +124,7 @@ class GPUDevice:
 
         self.commands_executed = 0
         self._closed = False
+        self._lost_reason: Optional[str] = None
 
     # -- cycle accounting helpers ----------------------------------------------
 
@@ -181,6 +182,23 @@ class GPUDevice:
     def closed(self) -> bool:
         return self._closed
 
+    # -- device loss (failover support) -------------------------------------------
+
+    def mark_lost(self, reason: str = "device lost") -> None:
+        """Simulate a whole-device crash: every subsequent command or
+        batch raises :class:`~repro.errors.DeviceLostError` until the
+        serving layer force-resets the device (replaces it with a fresh
+        one — the crashed arena's contents are unrecoverable)."""
+        self._lost_reason = reason
+
+    @property
+    def lost(self) -> bool:
+        return self._lost_reason is not None
+
+    def _check_lost(self) -> None:
+        if self._lost_reason is not None:
+            raise DeviceLostError(f"device {self.name} lost: {self._lost_reason}")
+
     # -- tenant environments (multi-tenant serving) -------------------------------
 
     def create_session_env(self, label: str = "session") -> "Environment":
@@ -208,6 +226,7 @@ class GPUDevice:
         """
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
+        self._check_lost()
         if sanitize:
             text = sanitize_input(text)
 
@@ -300,6 +319,7 @@ class GPUDevice:
         """
         if self._closed:
             raise DeviceShutdownError(f"device {self.name} has been shut down")
+        self._check_lost()
         requests = list(requests)
         if not requests:
             return BatchResult()

@@ -129,6 +129,30 @@ class HeapSnapshot:
         text += sum(len(spelling.encode()) + 1 for spelling, _, _ in self.bindings)
         return len(self.nodes) * NODE_BYTES + text
 
+    def digest(self) -> str:
+        """A stable content fingerprint of the snapshot.
+
+        Two snapshots of the same reachable heap digest identically
+        (the serializer's traversal order is deterministic), so a
+        checkpoint store can detect that a session's persistent state
+        has not changed since the last checkpoint — e.g. it only ran
+        pure reads — and skip shipping (and charging) a byte-identical
+        snapshot it already holds. Host-side work, uncharged like
+        serialization itself.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            [
+                self.label,
+                [rec.to_row() for rec in self.nodes],
+                [list(b) for b in self.bindings],
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()
+
     # -- persistence (CuLiServer.save/restore) -----------------------------------
 
     def to_dict(self) -> dict:

@@ -16,14 +16,27 @@ See ``examples/serve_demo.py`` for a tour and
 comparison.
 """
 
-from .pool import DevicePool, PooledDevice
+from .chaos import ChaosMonkey
+from .checkpoint import CheckpointStore
+from .pool import DevicePool, PooledDevice, link_ms
 from .scheduler import Rebalancer, Scheduler
 from .server import CuLiServer
 from .session import TenantSession, Ticket
 from .stats import DeviceStats, MigrationRecord, ServerStats
+from .supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    DeviceSupervisor,
+)
 
 __all__ = [
     "CuLiServer",
+    "ChaosMonkey",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "DeviceSupervisor",
     "DevicePool",
     "PooledDevice",
     "Rebalancer",
@@ -33,4 +46,8 @@ __all__ = [
     "DeviceStats",
     "MigrationRecord",
     "ServerStats",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "link_ms",
 ]

@@ -1,0 +1,134 @@
+"""Host-side session checkpoints: the recovery substrate for device loss.
+
+Live migration (``runtime/snapshot.py``) reads the **live** source heap,
+so it can move a session off a *healthy* device — but a device that
+crashes or hangs takes every resident tenant's arena state with it.
+The :class:`CheckpointStore` closes that gap: every ``interval``
+completed commands ("rounds" from the session's point of view — a
+session advances one command per distribution round), the host
+serializes the session's reachable persistent heap through the existing
+relocatable :class:`~repro.runtime.snapshot.HeapSnapshot` format and
+keeps it host-side, together with the **suffix log** — the texts of the
+commands the session completed *since* that checkpoint.
+
+Recovery = restore the last checkpoint into a surviving device's arena,
+then **replay** the suffix log in order. Replay re-executes commands
+whose outputs were already delivered (their replay outputs are
+discarded), which makes the contract *at-least-once* with an RPO of at
+most ``interval`` rounds: deterministic commands reconverge to exactly
+the pre-loss state, and a non-idempotent command can observe at most one
+re-execution per loss.
+
+Cost honesty: serializing is host-side work (uncharged, like migration's
+serialize step), but a checkpoint only protects the session if it
+*leaves* the device — so the supervisor charges ``HeapSnapshot.nbytes``
+as modeled device→host transfer on the session's link for every
+checkpoint actually shipped. A snapshot whose :meth:`digest
+<repro.runtime.snapshot.HeapSnapshot.digest>` matches the one already
+stored (the session ran only pure reads since) is **not** re-shipped and
+charges nothing; its suffix log still resets, because the stored
+checkpoint already equals the live state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from ..runtime.snapshot import HeapSnapshot, snapshot_env
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import TenantSession
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Per-session heap checkpoints plus post-checkpoint command logs."""
+
+    def __init__(self, interval: int = 8) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1 round")
+        self.interval = interval
+        self._snapshots: dict[str, HeapSnapshot] = {}
+        self._digests: dict[str, str] = {}
+        self._suffix: dict[str, list[str]] = {}
+        # Lifetime counters (surfaced through ServerStats).
+        self.checkpoints_taken = 0      #: snapshots actually shipped
+        self.checkpoints_skipped = 0    #: digest-unchanged, not re-shipped
+        self.checkpoint_nodes = 0
+        self.checkpoint_bytes = 0
+        self.wall_ms = 0.0              #: host time spent serializing
+
+    # -- session lifecycle --------------------------------------------------------
+
+    def register(self, session_id: str) -> None:
+        """Start tracking a session (fresh sessions need no snapshot:
+        recovery before the first checkpoint restores an empty session
+        root and replays the whole — still ``< interval`` long — log)."""
+        self._suffix.setdefault(session_id, [])
+
+    def drop(self, session_id: str) -> None:
+        """Forget a closed session's checkpoint and log."""
+        self._snapshots.pop(session_id, None)
+        self._digests.pop(session_id, None)
+        self._suffix.pop(session_id, None)
+
+    def tracked(self, session_id: str) -> bool:
+        return session_id in self._suffix
+
+    # -- the round-by-round protocol ----------------------------------------------
+
+    def record_completed(self, session_id: str, text: str) -> None:
+        """Append one completed command to the session's suffix log
+        (errored commands too: deterministic replay reproduces their
+        partial state exactly)."""
+        self._suffix.setdefault(session_id, []).append(text)
+
+    def due(self, session_id: str) -> bool:
+        """True when the suffix log has reached the checkpoint interval."""
+        return len(self._suffix.get(session_id, ())) >= self.interval
+
+    def checkpoint(self, session: "TenantSession") -> tuple[HeapSnapshot, bool]:
+        """Snapshot the session's heap now; returns ``(snapshot, shipped)``.
+
+        ``shipped`` is False when the digest matches the stored
+        checkpoint (nothing crosses the link, nothing to charge). Either
+        way the suffix log resets — the stored checkpoint now equals the
+        live persistent state.
+        """
+        t0 = time.perf_counter()
+        snap = snapshot_env(session.env, label=session.session_id)
+        digest = snap.digest()
+        self.wall_ms += (time.perf_counter() - t0) * 1000.0
+        shipped = digest != self._digests.get(session.session_id)
+        if shipped:
+            self._snapshots[session.session_id] = snap
+            self._digests[session.session_id] = digest
+            self.checkpoints_taken += 1
+            self.checkpoint_nodes += snap.node_count
+            self.checkpoint_bytes += snap.nbytes
+        else:
+            self.checkpoints_skipped += 1
+        self._suffix[session.session_id] = []
+        return snap, shipped
+
+    # -- recovery -----------------------------------------------------------------
+
+    def get(self, session_id: str) -> Optional[HeapSnapshot]:
+        """The last shipped checkpoint, or None before the first one."""
+        return self._snapshots.get(session_id)
+
+    def suffix(self, session_id: str) -> list[str]:
+        """The post-checkpoint command texts, oldest first (a copy)."""
+        return list(self._suffix.get(session_id, ()))
+
+    def rpo_rounds(self, session_id: str) -> int:
+        """Rounds of work a recovery right now would have to replay."""
+        return len(self._suffix.get(session_id, ()))
+
+    def on_recovered(self, session_id: str) -> None:
+        """Reset the suffix log after a failover: the replay tickets now
+        queued will re-record themselves as they complete, so the log
+        rebuilds in step with the restored session's actual state."""
+        self._suffix[session_id] = []

@@ -26,9 +26,21 @@ from ..runtime.devices import device_for
 if TYPE_CHECKING:  # pragma: no cover
     from .session import Ticket, TenantSession
 
-__all__ = ["DevicePool", "PooledDevice"]
+__all__ = ["DevicePool", "PooledDevice", "link_ms"]
 
 DeviceSpec = Union[str, GPUSpec, CPUSpec]
+
+
+def link_ms(pdev: "PooledDevice", nbytes: int) -> float:
+    """Modeled time to move ``nbytes`` across one device's host link.
+
+    GPUs pay the PCIe model (latency + size/bandwidth, the same
+    ``spec.transfer_ms`` every command upload pays); CPU devices share
+    memory with the host, so their side of a migration, checkpoint, or
+    failover restore is free — exactly like their command transfers.
+    """
+    transfer = getattr(pdev.device.spec, "transfer_ms", None)
+    return transfer(nbytes) if callable(transfer) else 0.0
 
 
 class PooledDevice:
@@ -90,6 +102,11 @@ class DevicePool:
     ) -> None:
         if not devices:
             raise ValueError("a device pool needs at least one device")
+        # Configs are kept so a lost device can be force-reset to an
+        # identical fresh one (revive): same spec, same interpreter
+        # options, empty arena.
+        self._gpu_config = gpu_config
+        self._cpu_config = cpu_config
         self.devices: dict[str, PooledDevice] = {}
         for k, spec in enumerate(devices):
             device = device_for(spec, gpu_config=gpu_config, cpu_config=cpu_config)
@@ -142,6 +159,37 @@ class DevicePool:
     @property
     def pending(self) -> int:
         return sum(d.queue_depth for d in self.devices.values())
+
+    # -- failover (supervisor hooks) -----------------------------------------------
+
+    def revive(self, device_id: str) -> PooledDevice:
+        """Force-reset a lost device: same pool slot, fresh device object.
+
+        The crash destroyed everything resident in the old device's
+        arena, so the replacement is built from the same spec and config
+        with an empty arena. The :class:`PooledDevice` wrapper (queue,
+        draining flag) is kept — the supervisor owns moving its work and
+        sessions elsewhere — but the session count resets to zero: the
+        victims are re-placed through ``place_session`` during recovery.
+        """
+        pdev = self.devices[device_id]
+        old = pdev.device
+        pdev.device = device_for(
+            old.spec, gpu_config=self._gpu_config, cpu_config=self._cpu_config
+        )
+        pdev.session_count = 0
+        old.close()
+        return pdev
+
+    def evict(self, device_id: str) -> PooledDevice:
+        """Permanently remove a device from the pool (a flapping device
+        the breaker has given up on). Refuses to empty the pool — the
+        last device is never evicted."""
+        if len(self.devices) <= 1:
+            raise ValueError("cannot evict the last device in the pool")
+        pdev = self.devices.pop(device_id)
+        pdev.device.close()
+        return pdev
 
     # -- lifecycle ----------------------------------------------------------------
 

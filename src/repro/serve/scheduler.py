@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..errors import CuLiError
+from ..errors import CuLiError, DeviceLostError
 from ..gpu.hostlink import sanitize_input
 from ..runtime.batch import BatchRequest
 from ..timing import CommandStats
@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .server import CuLiServer
     from .session import TenantSession, Ticket
     from .stats import MigrationRecord, ServerStats
+    from .supervisor import DeviceSupervisor
 
 __all__ = ["Scheduler", "Rebalancer"]
 
@@ -52,6 +53,12 @@ class Scheduler:
             raise ValueError("max_batch must be >= 1")
         self.pool = pool
         self.max_batch = max_batch
+        #: Installed by :class:`~repro.serve.supervisor.DeviceSupervisor`
+        #: (failover-enabled servers): wraps submissions with the
+        #: watchdog/chaos layer and owns device-loss recovery. None keeps
+        #: the pre-failover behaviour exactly (losses degrade to the
+        #: batch-fatal quarantine path).
+        self.supervisor: Optional["DeviceSupervisor"] = None
 
     # -- batch formation ----------------------------------------------------------
 
@@ -139,8 +146,24 @@ class Scheduler:
             )
             for ticket in batch
         ]
+        supervisor = self.supervisor
         try:
-            result = pdev.device.submit_batch(requests)
+            if supervisor is not None:
+                result = supervisor.submit(pdev, requests)
+            else:
+                result = pdev.device.submit_batch(requests)
+        except DeviceLostError as exc:
+            if supervisor is not None:
+                # The device is gone, batch and resident arenas with it:
+                # the supervisor force-resets it and rebuilds the victim
+                # sessions from their checkpoints on surviving devices.
+                supervisor.on_device_loss(pdev, batch, exc, stats)
+                return
+            # Without a supervisor a loss degrades to the batch-fatal
+            # quarantine path (the device object survives in simulation,
+            # so solo retries still serve).
+            self._handle_fatal_batch(pdev, batch, exc, stats)
+            return
         except CuLiError as exc:
             self._handle_fatal_batch(pdev, batch, exc, stats)
             return
@@ -151,14 +174,25 @@ class Scheduler:
             for ticket in batch:
                 ticket.error = exc
                 ticket.stats = CommandStats(output=f"error: {exc}")
-                ticket.session.history.append(ticket.stats)
+                if not ticket.replay:
+                    ticket.session.history.append(ticket.stats)
             raise
+        replayed = 0
         for ticket, item in zip(batch, result.items):
             ticket.stats = item.stats
             ticket.error = item.error
-            ticket.session.history.append(item.stats)
+            if ticket.replay:
+                # Recovery replay: the tenant already saw this command's
+                # result; the re-execution only rebuilds session state.
+                replayed += 1
+            else:
+                ticket.session.history.append(item.stats)
+            if supervisor is not None:
+                supervisor.note_completed(ticket)
         if stats is not None:
             stats.record_batch(pdev.device_id, result)
+            if replayed:
+                stats.record_replayed(replayed)
 
     def _handle_fatal_batch(
         self,
@@ -194,7 +228,8 @@ class Scheduler:
         for ticket in poisoned:
             ticket.error = exc
             ticket.stats = CommandStats(output=f"error: {exc}")
-            ticket.session.history.append(ticket.stats)
+            if not ticket.replay:
+                ticket.session.history.append(ticket.stats)
         if stats is not None and poisoned:
             stats.record_poisoned(pdev.device_id, len(poisoned))
         for ticket in reversed(retried):
@@ -223,16 +258,27 @@ class Scheduler:
         it only ever moves *idle* sessions. Migrations re-route a
         session's still-queued tickets with its heap; pending never
         grows, so drain still terminates.
+
+        With a supervisor installed, its between-rounds hook runs after
+        the rebalancer's: idle chaos, breaker cooldown ticks, half-open
+        probes, and interval checkpoints all happen while nothing is in
+        flight. Failover re-enqueues work (replay + retry tickets), so
+        pending can *grow* within a pass — termination then rests on the
+        per-ticket failover cap: every ticket either resolves normally
+        or resolves poisoned after at most ``max_ticket_failovers``
+        losses, so the queue still always reaches zero.
         """
         batches = 0
         while self.pool.pending:
-            for pdev in self.pool.devices.values():
+            for pdev in list(self.pool.devices.values()):
                 batch = self.form_batch(pdev)
                 if batch:
                     self.dispatch(pdev, batch, stats)
                     batches += 1
             if rebalancer is not None:
                 rebalancer.after_round(stats)
+            if self.supervisor is not None:
+                self.supervisor.after_round(stats)
         return batches
 
 
@@ -260,6 +306,12 @@ class Rebalancer:
       hottest device to the coldest. The candidate whose queued-ticket
       count best fills half the gap is chosen, so one move does the most
       levelling possible without overshooting.
+    * **Session leveling** — when resident session counts differ by two
+      or more between the fullest and emptiest usable device, sessions
+      migrate toward the emptiest (sharing the same per-round move
+      budget). Queue shedding cannot see this skew when queues drain
+      within a pass — the state a device-loss failover leaves behind,
+      with every victim on the survivors and the revived device empty.
 
     Moving a session is never free: each migration's snapshot bytes are
     charged as modeled host<->device transfer time on both links
@@ -305,9 +357,13 @@ class Rebalancer:
     def after_round(
         self, stats: Optional["ServerStats"] = None
     ) -> list["MigrationRecord"]:
-        """Run both policies once; returns the migrations performed."""
+        """Run the policies once; returns the migrations performed."""
         moves = self._drain_faulty(stats)
         moves.extend(self._shed_overload())
+        if len(moves) < self.max_moves_per_round:
+            moves.extend(
+                self._level_sessions(self.max_moves_per_round - len(moves))
+            )
         return moves
 
     # -- fault drain ---------------------------------------------------------------
@@ -362,6 +418,45 @@ class Rebalancer:
             if session is None:
                 break
             moves.append(self.server.migrate_session(session, cold.device_id))
+        return moves
+
+    # -- session leveling ----------------------------------------------------------
+
+    def _level_sessions(self, budget: int) -> list["MigrationRecord"]:
+        """Level *resident session counts*, not just queue depths.
+
+        Queue shedding is blind to placement skew when queues drain to
+        zero within each pass — exactly the state a device-loss failover
+        leaves behind (every victim lands on the survivors while the
+        revived device sits empty). Moving sessions until counts are
+        within one of each other re-levels the fleet within a couple of
+        rounds; on an already-even pool the gate never opens.
+        """
+        pool = self.server.pool
+        moves: list["MigrationRecord"] = []
+        for _ in range(budget):
+            usable = [
+                d
+                for d in pool.devices.values()
+                if not d.draining and not d.device.lost
+            ]
+            if len(usable) < 2:
+                break
+            hot = max(usable, key=lambda d: d.session_count)
+            cold = min(usable, key=lambda d: d.session_count)
+            if hot.session_count < cold.session_count + 2:
+                break
+            residents = self._sessions_on(hot)
+            if not residents:
+                break
+            # Prefer a session with nothing queued: its migration moves
+            # only the heap snapshot, never reorders pending work.
+            queued = {t.session for t in hot.queue}
+            idle = [s for s in residents if s not in queued]
+            session = (idle or residents)[0]
+            moves.append(
+                self.server.migrate_session(session, cold.device_id)
+            )
         return moves
 
     def _sessions_on(self, pdev: "PooledDevice") -> list["TenantSession"]:

@@ -30,24 +30,14 @@ from ..core.interpreter import InterpreterOptions
 from ..cpu.device import CPUDeviceConfig
 from ..gpu.device import GPUDeviceConfig
 from ..runtime.snapshot import HeapSnapshot, restore_env, snapshot_env
-from .pool import DevicePool, DeviceSpec, PooledDevice
+from .chaos import ChaosMonkey
+from .pool import DevicePool, DeviceSpec, PooledDevice, link_ms
 from .scheduler import Rebalancer, Scheduler
 from .session import TenantSession, Ticket
 from .stats import MigrationRecord, ServerStats
+from .supervisor import DeviceSupervisor
 
 __all__ = ["CuLiServer"]
-
-
-def _link_ms(pdev: PooledDevice, nbytes: int) -> float:
-    """Modeled time to move ``nbytes`` across one device's host link.
-
-    GPUs pay the PCIe model (latency + size/bandwidth, the same
-    ``spec.transfer_ms`` every command upload pays); CPU devices share
-    memory with the host, so their side of a migration is free — exactly
-    like their command transfers.
-    """
-    transfer = getattr(pdev.device.spec, "transfer_ms", None)
-    return transfer(nbytes) if callable(transfer) else 0.0
 
 
 class CuLiServer:
@@ -64,6 +54,10 @@ class CuLiServer:
         jit: Optional[bool] = None,
         rebalance: bool = False,
         rebalancer: Optional[Rebalancer] = None,
+        failover: bool = False,
+        checkpoint_interval: int = 8,
+        chaos: Optional[ChaosMonkey] = None,
+        failover_config: Optional[dict] = None,
     ) -> None:
         # The serving layer defaults to the fast-path ablation (interned
         # symbols, indexed session roots, parse cache, generational
@@ -126,6 +120,23 @@ class CuLiServer:
         self.rebalancer: Optional[Rebalancer] = rebalancer
         if self.rebalancer is None and rebalance:
             self.rebalancer = Rebalancer(self)
+        # Device-loss failover (checkpoint/supervisor PR): off by default
+        # so a loss degrades to the batch-fatal quarantine path exactly
+        # as before. ``failover=True`` (or any chaos monkey) installs the
+        # DeviceSupervisor: sessions checkpoint every
+        # ``checkpoint_interval`` completed commands, lost devices are
+        # force-reset behind a circuit breaker, and victim sessions are
+        # rebuilt from their checkpoints on surviving devices.
+        # ``failover_config`` passes extra DeviceSupervisor kwargs
+        # (breaker thresholds, deadlines, the per-ticket failover cap).
+        self.supervisor: Optional[DeviceSupervisor] = None
+        if failover or chaos is not None:
+            self.supervisor = DeviceSupervisor(
+                self,
+                chaos=chaos,
+                checkpoint_interval=checkpoint_interval,
+                **(failover_config or {}),
+            )
         self._closed = False
 
     # -- sessions -----------------------------------------------------------------
@@ -141,6 +152,8 @@ class CuLiServer:
         env = pdev.device.create_session_env(label=session_id)
         session = TenantSession(self, session_id, pdev.device_id, env)
         self.sessions[session_id] = session
+        if self.supervisor is not None:
+            self.supervisor.track_session(session)
         return session
 
     def close_session(self, session: TenantSession) -> None:
@@ -154,6 +167,8 @@ class CuLiServer:
         """
         if self.sessions.pop(session.session_id, None) is None:
             return
+        if self.supervisor is not None:
+            self.supervisor.forget_session(session)
         pdev = self.pool[session.device_id]
         remaining = deque()
         cancelled = 0
@@ -240,8 +255,8 @@ class CuLiServer:
         self.pool.session_closed(source.device_id)
         session.env = new_env
         session.device_id = target.device_id
-        source_ms = _link_ms(source, snap.nbytes)
-        dest_ms = _link_ms(target, snap.nbytes)
+        source_ms = link_ms(source, snap.nbytes)
+        dest_ms = link_ms(target, snap.nbytes)
         record = MigrationRecord(
             session_id=session.session_id,
             source=source.device_id,
@@ -324,6 +339,8 @@ class CuLiServer:
                 session = TenantSession(self, session_id, pdev.device_id, env)
                 self.sessions[session_id] = session
                 restored[session_id] = session
+                if self.supervisor is not None:
+                    self.supervisor.track_session(session)
         except Exception:
             for session in restored.values():
                 session.close()

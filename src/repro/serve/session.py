@@ -26,7 +26,8 @@ __all__ = ["Ticket", "TenantSession"]
 class Ticket:
     """A pending request: filled in when its batch executes."""
 
-    __slots__ = ("session", "text", "stats", "error", "quarantined")
+    __slots__ = ("session", "text", "stats", "error", "quarantined", "replay",
+                 "failovers")
 
     def __init__(self, session: "TenantSession", text: str) -> None:
         self.session = session
@@ -39,6 +40,15 @@ class Ticket:
         #: the error instead of being retried again — a deterministically
         #: poisonous request can never wedge the queue.
         self.quarantined = False
+        #: Internal recovery ticket (checkpoint failover): re-executes a
+        #: command the tenant already saw the result of, purely to
+        #: rebuild session state. Its output is discarded — it never
+        #: joins the session history, only the suffix log.
+        self.replay = False
+        #: Device losses this ticket has ridden through while in flight;
+        #: past the supervisor's ``max_ticket_failovers`` it resolves as
+        #: poisoned instead of retrying — the drain-termination bound.
+        self.failovers = 0
 
     @property
     def done(self) -> bool:

@@ -35,6 +35,20 @@ class DeviceStats:
     faults: int = 0          #: device faults (contained + batch-fatal)
     migrations_in: int = 0   #: sessions restored onto this device
     migrations_out: int = 0  #: sessions snapshotted off this device
+    # Failover/availability accounting (device-loss supervisor PR):
+    losses: int = 0          #: times this device crashed or hung
+    hangs: int = 0           #: the subset of losses that were hangs
+    recoveries_in: int = 0   #: victim sessions rebuilt onto this device
+    rounds_total: int = 0    #: supervisor rounds this device existed for
+    rounds_up: int = 0       #: ... of which it was serviceable
+
+    @property
+    def uptime(self) -> float:
+        """Share of supervised rounds this device was serviceable
+        (1.0 when no supervisor ran — nothing ever took it down)."""
+        if self.rounds_total == 0:
+            return 1.0
+        return self.rounds_up / self.rounds_total
 
 
 @dataclass
@@ -99,9 +113,31 @@ class ServerStats:
         self.migration_transfer_ms = 0.0
         self.devices_drained = 0
         self.sessions_restored = 0
+        # Failover counters (device-loss supervisor PR): whole-device
+        # losses, sessions failed over from their checkpoints, replayed
+        # suffix commands, and the recovery-point-objective actually
+        # observed (rounds of replay per recovered session).
+        self.devices_lost = 0
+        self.device_hangs = 0
+        self.sessions_recovered = 0
+        self.requests_replayed = 0
+        self.rpo_rounds_sum = 0
+        self.rpo_rounds_max = 0
+        self.checkpoints_shipped = 0
+        self.checkpoints_skipped = 0
+        self.checkpoint_bytes = 0
+        self.checkpoint_transfer_ms = 0.0
+        self.failover_restore_bytes = 0
+        self.failover_restore_ms = 0.0
+        self.breaker_opens = 0
+        self.probes_sent = 0
+        self.probes_ok = 0
+        self.devices_evicted = 0
         self.per_device: dict[str, DeviceStats] = {}
         #: live queue-depth gauge, installed by the server
         self._queue_depth_fn: Optional[Callable[[], dict[str, int]]] = None
+        #: live breaker-state gauge, installed by the supervisor
+        self._breaker_state_fn: Optional[Callable[[], dict[str, str]]] = None
 
     # -- recording ----------------------------------------------------------------
 
@@ -199,9 +235,124 @@ class ServerStats:
         self.poisoned_requests += n
         self.requests_completed += n
         self.errors += n
-        dstats = self.per_device[device_id]
-        dstats.requests += n
-        dstats.errors += n
+        dstats = self.per_device.get(device_id)
+        if dstats is not None:
+            dstats.requests += n
+            dstats.errors += n
+
+    # -- failover recording (device-loss supervisor) -------------------------------
+
+    def record_device_lost(
+        self, device_id: str, hang: bool = False, detect_ms: float = 0.0
+    ) -> None:
+        """A whole device crashed (or hung past the watchdog deadline).
+
+        ``detect_ms`` is the modeled time the watchdog spent waiting the
+        hang out before force-resetting — real makespan the fleet lost,
+        charged to the device like any busy time.
+        """
+        self.devices_lost += 1
+        if hang:
+            self.device_hangs += 1
+        dstats = self.per_device.get(device_id)
+        if dstats is not None:
+            dstats.losses += 1
+            dstats.faults += 1
+            if hang:
+                dstats.hangs += 1
+            dstats.busy_ms += detect_ms
+        if detect_ms > 0.0:
+            self.phase_totals = self.phase_totals.merged_with(
+                PhaseBreakdown(other_ms=detect_ms)
+            )
+
+    def record_session_recovered(
+        self, dest_device_id: str, rpo_rounds: int, replayed: int
+    ) -> None:
+        """One victim session rebuilt from its checkpoint on a survivor.
+
+        ``rpo_rounds`` is the recovery point actually observed: how many
+        completed rounds sat in the suffix log and had to be replayed —
+        never more than the checkpoint interval, which is the RPO bound
+        the supervisor advertises.
+        """
+        self.sessions_recovered += 1
+        self.rpo_rounds_sum += rpo_rounds
+        self.rpo_rounds_max = max(self.rpo_rounds_max, rpo_rounds)
+        dstats = self.per_device.get(dest_device_id)
+        if dstats is not None:
+            dstats.recoveries_in += 1
+
+    def record_replayed(self, n: int) -> None:
+        """Replay tickets served (suffix re-execution during recovery)."""
+        self.requests_replayed += n
+
+    def record_checkpoint(
+        self, device_id: str, nbytes: int, transfer_ms: float
+    ) -> None:
+        """One session checkpoint shipped device->host: its wire size is
+        modeled transfer on the device's link, like a migration's source
+        half — the clean-path overhead the failover bench bounds."""
+        self.checkpoints_shipped += 1
+        self.checkpoint_bytes += nbytes
+        self.checkpoint_transfer_ms += transfer_ms
+        self.phase_totals = self.phase_totals.merged_with(
+            PhaseBreakdown(transfer_ms=transfer_ms)
+        )
+        dstats = self.per_device.get(device_id)
+        if dstats is not None:
+            dstats.busy_ms += transfer_ms
+
+    def record_checkpoint_skipped(self) -> None:
+        """A due checkpoint whose digest matched the stored one: the
+        suffix log reset for free, nothing crossed the link."""
+        self.checkpoints_skipped += 1
+
+    def record_failover_restore(
+        self, device_id: str, nbytes: int, transfer_ms: float
+    ) -> None:
+        """A checkpoint restored host->device during recovery."""
+        self.failover_restore_bytes += nbytes
+        self.failover_restore_ms += transfer_ms
+        self.phase_totals = self.phase_totals.merged_with(
+            PhaseBreakdown(transfer_ms=transfer_ms)
+        )
+        dstats = self.per_device.get(device_id)
+        if dstats is not None:
+            dstats.busy_ms += transfer_ms
+
+    def record_breaker_open(self, device_id: str) -> None:
+        """A device's circuit breaker tripped open."""
+        self.breaker_opens += 1
+
+    def record_probe(self, device_id: str) -> None:
+        """A half-open probe batch was sent to a recovering device."""
+        self.probes_sent += 1
+
+    def record_probe_ok(self, device_id: str, busy_ms: float) -> None:
+        """A probe succeeded (breaker closes): its round is real device
+        time but no tenant request — only busy time is charged."""
+        self.probes_ok += 1
+        dstats = self.per_device.get(device_id)
+        if dstats is not None:
+            dstats.busy_ms += busy_ms
+
+    def record_device_evicted(self, device_id: str) -> None:
+        """A permanently flapping device was removed from the pool."""
+        self.devices_evicted += 1
+
+    @property
+    def mean_rpo_rounds(self) -> float:
+        """Mean rounds replayed per recovered session (observed RPO)."""
+        if self.sessions_recovered == 0:
+            return 0.0
+        return self.rpo_rounds_sum / self.sessions_recovered
+
+    def breaker_states(self) -> dict[str, str]:
+        """Live per-device breaker state (empty without a supervisor)."""
+        if self._breaker_state_fn is None:
+            return {}
+        return self._breaker_state_fn()
 
     # -- derived quantities -------------------------------------------------------
 
@@ -292,6 +443,25 @@ class ServerStats:
                 "devices_drained": self.devices_drained,
                 "sessions_restored": self.sessions_restored,
             },
+            "failover": {
+                "devices_lost": self.devices_lost,
+                "device_hangs": self.device_hangs,
+                "sessions_recovered": self.sessions_recovered,
+                "requests_replayed": self.requests_replayed,
+                "rpo_mean_rounds": self.mean_rpo_rounds,
+                "rpo_max_rounds": self.rpo_rounds_max,
+                "checkpoints_shipped": self.checkpoints_shipped,
+                "checkpoints_skipped": self.checkpoints_skipped,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_transfer_ms": self.checkpoint_transfer_ms,
+                "restore_bytes": self.failover_restore_bytes,
+                "restore_transfer_ms": self.failover_restore_ms,
+                "breaker_opens": self.breaker_opens,
+                "probes_sent": self.probes_sent,
+                "probes_ok": self.probes_ok,
+                "devices_evicted": self.devices_evicted,
+                "breaker_states": self.breaker_states(),
+            },
             "devices": {
                 device_id: {
                     "name": d.name,
@@ -304,6 +474,10 @@ class ServerStats:
                     "faults": d.faults,
                     "migrations_in": d.migrations_in,
                     "migrations_out": d.migrations_out,
+                    "losses": d.losses,
+                    "hangs": d.hangs,
+                    "recoveries_in": d.recoveries_in,
+                    "uptime": d.uptime,
                     "utilization": self.utilization()[device_id],
                 }
                 for device_id, d in self.per_device.items()
@@ -339,11 +513,31 @@ class ServerStats:
             f"{snap['rebalance']['transfer_ms']:.3f} ms transfer), "
             f"{snap['rebalance']['devices_drained']} drained, "
             f"{snap['rebalance']['sessions_restored']} restored",
+            f"failover: {snap['failover']['devices_lost']} losses "
+            f"({snap['failover']['device_hangs']} hangs), "
+            f"{snap['failover']['sessions_recovered']} sessions recovered, "
+            f"{snap['failover']['requests_replayed']} replayed "
+            f"(RPO mean {snap['failover']['rpo_mean_rounds']:.1f} / "
+            f"max {snap['failover']['rpo_max_rounds']} rounds); "
+            f"checkpoints {snap['failover']['checkpoints_shipped']} shipped + "
+            f"{snap['failover']['checkpoints_skipped']} skipped "
+            f"({snap['failover']['checkpoint_bytes']} B, "
+            f"{snap['failover']['checkpoint_transfer_ms']:.3f} ms); "
+            f"breaker {snap['failover']['breaker_opens']} opens, "
+            f"probes {snap['failover']['probes_ok']}/"
+            f"{snap['failover']['probes_sent']} ok, "
+            f"{snap['failover']['devices_evicted']} evicted",
         ]
+        breaker_states = snap["failover"]["breaker_states"]
         for device_id, d in snap["devices"].items():
-            lines.append(
+            line = (
                 f"  {device_id} [{d['name']}/{d['kind']}]: {d['requests']} reqs in "
                 f"{d['batches']} batches, busy {d['busy_ms']:.3f} ms, "
-                f"util {d['utilization'] * 100:.0f}%"
+                f"util {d['utilization'] * 100:.0f}%, "
+                f"up {d['uptime'] * 100:.0f}%"
             )
+            state = breaker_states.get(device_id)
+            if state is not None:
+                line += f", breaker {state}"
+            lines.append(line)
         return "\n".join(lines)

@@ -1,0 +1,640 @@
+"""DeviceSupervisor: watchdog, circuit breaker, and checkpoint failover.
+
+The fault-containment ladder so far (PR 4/5) handles faults the device
+*survives*: containable faults resolve per-job, batch-fatal failures
+quarantine the batch, repeated faults drain the device. This module adds
+the rung where the device itself is gone — a crash
+(:class:`~repro.errors.DeviceLostError`) or a hang past the round
+deadline (:class:`~repro.errors.DeviceHangError`) destroys every
+resident tenant's arena state along with the in-flight batch.
+
+The supervisor's contract is **no request is ever lost**: every ticket a
+tenant enqueued resolves exactly once, with a result or an error, no
+matter which devices die when. The mechanism:
+
+* **Watchdog** — every batch submission is wrapped with a wall-time
+  deadline and a post-round liveness check; a round that overruns or a
+  device that stops answering is force-reset and treated as lost.
+* **Checkpoint failover** — victim sessions are rebuilt on surviving
+  devices from their last :class:`~repro.serve.checkpoint.CheckpointStore`
+  checkpoint; the post-checkpoint command suffix is **replayed** (at
+  most ``checkpoint_interval`` rounds, the RPO bound), then the lost
+  round's in-flight tickets and the still-queued tickets re-enqueue
+  behind it — per-session submission order survives the crash. A ticket
+  that rides through more than ``max_ticket_failovers`` losses resolves
+  as poisoned instead of retrying forever, so ``drain()`` still always
+  terminates.
+* **Circuit breaker** — a device that fails ``breaker_failures`` times
+  within ``breaker_window`` rounds is opened (placement avoids it);
+  after ``cooldown_rounds`` idle rounds the breaker half-opens and the
+  supervisor sends a synthetic *probe batch* — success closes the
+  breaker and returns the device to service (this is also how a
+  Rebalancer-drained device gets back automatically), failure re-opens
+  it and counts a *flap*. A device that flaps ``max_flaps`` times is
+  evicted from the pool for good (never the last device).
+
+Co-tenant isolation: sessions on *surviving* devices are never touched
+by a recovery — their heaps, queues, and outputs are byte-identical to a
+run where the loss never happened (the chaos suite asserts exactly
+this).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import (
+    ArenaExhaustedError,
+    CuLiError,
+    DeviceHangError,
+    DeviceLostError,
+    LispError,
+)
+from ..runtime.batch import BatchRequest
+from ..runtime.snapshot import restore_env
+from ..timing import CommandStats
+from .checkpoint import CheckpointStore
+from .pool import link_ms
+from .session import Ticket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.batch import BatchResult
+    from .chaos import ChaosMonkey
+    from .pool import PooledDevice
+    from .server import CuLiServer
+    from .session import TenantSession
+    from .stats import ServerStats
+
+__all__ = [
+    "CircuitBreaker",
+    "DeviceSupervisor",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-device failure gate: CLOSED -> OPEN -> HALF_OPEN -> CLOSED.
+
+    OPEN after ``failures`` losses within a ``window``-round span; stays
+    OPEN for ``cooldown`` rounds (placement avoids the device), then
+    HALF_OPEN — one probe batch decides: success closes, failure
+    re-opens and counts a flap. ``flapping`` turns True at ``max_flaps``
+    reopen-from-probe cycles — the device is permanently unreliable and
+    should be evicted rather than probed forever.
+    """
+
+    def __init__(
+        self,
+        failures: int = 2,
+        window: int = 8,
+        cooldown: int = 2,
+        max_flaps: int = 3,
+    ) -> None:
+        if failures < 1 or window < 1 or cooldown < 1 or max_flaps < 1:
+            raise ValueError("breaker parameters must all be >= 1")
+        self.failures = failures
+        self.window = window
+        self.cooldown = cooldown
+        self.max_flaps = max_flaps
+        self.state = BREAKER_CLOSED
+        self.flaps = 0
+        self.opens = 0
+        self._recent: deque[int] = deque()  #: round numbers of losses
+        self._cooldown_left = 0
+
+    def record_failure(self, round_no: int) -> str:
+        """Count one device loss; returns the (possibly new) state."""
+        if self.state == BREAKER_HALF_OPEN:
+            # The probe (or a loss racing it) failed: that's a flap.
+            self.flaps += 1
+            self._open()
+            return self.state
+        self._recent.append(round_no)
+        while self._recent and round_no - self._recent[0] >= self.window:
+            self._recent.popleft()
+        if self.state == BREAKER_CLOSED and len(self._recent) >= self.failures:
+            self._open()
+        return self.state
+
+    def trip(self) -> None:
+        """Force OPEN (e.g. the Rebalancer drained this device): the
+        cooldown/probe path then owns the road back to service."""
+        if self.state == BREAKER_CLOSED:
+            self._open()
+
+    def _open(self) -> None:
+        self.state = BREAKER_OPEN
+        self.opens += 1
+        self._cooldown_left = self.cooldown
+        self._recent.clear()
+
+    def tick(self) -> None:
+        """One idle round passed; OPEN counts down toward HALF_OPEN."""
+        if self.state == BREAKER_OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self.state = BREAKER_HALF_OPEN
+
+    def on_probe_success(self) -> None:
+        self.state = BREAKER_CLOSED
+        self._recent.clear()
+
+    @property
+    def flapping(self) -> bool:
+        return self.flaps >= self.max_flaps
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.state} flaps={self.flaps}>"
+
+
+class DeviceSupervisor:
+    """Watchdog + circuit breaker + checkpoint failover (module docs)."""
+
+    #: The half-open probe command: tiny, pure, and state-free, so a
+    #: probe can run against the device's global env with no tenant
+    #: involved and no persistent effect.
+    PROBE_TEXT = "(+ 1 1)"
+    PROBE_ANSWER = "2"
+
+    def __init__(
+        self,
+        server: "CuLiServer",
+        chaos: Optional["ChaosMonkey"] = None,
+        checkpoint_interval: int = 8,
+        breaker_failures: int = 2,
+        breaker_window: int = 8,
+        cooldown_rounds: int = 2,
+        max_flaps: int = 3,
+        max_ticket_failovers: int = 8,
+        round_deadline_ms: float = 10_000.0,
+        hang_detect_ms: float = 50.0,
+    ) -> None:
+        if max_ticket_failovers < 1:
+            raise ValueError("max_ticket_failovers must be >= 1")
+        self.server = server
+        self.chaos = chaos
+        self.store = CheckpointStore(checkpoint_interval)
+        self.breaker_failures = breaker_failures
+        self.breaker_window = breaker_window
+        self.cooldown_rounds = cooldown_rounds
+        self.max_flaps = max_flaps
+        self.max_ticket_failovers = max_ticket_failovers
+        #: Host wall-time budget for one batch round; an overrun is a hang.
+        self.round_deadline_ms = round_deadline_ms
+        #: Modeled device-time cost of *detecting* a hang (the deadline
+        #: the watchdog waited out before force-resetting).
+        self.hang_detect_ms = hang_detect_ms
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.round_no = 0
+        # Wire into the serving loop: the scheduler routes submissions
+        # and loss handling through us, the stats surface gains the live
+        # breaker-state gauge.
+        server.scheduler.supervisor = self
+        server.stats._breaker_state_fn = self.breaker_states
+
+    # -- breaker bookkeeping -------------------------------------------------------
+
+    def breaker(self, device_id: str) -> CircuitBreaker:
+        brk = self.breakers.get(device_id)
+        if brk is None:
+            brk = CircuitBreaker(
+                failures=self.breaker_failures,
+                window=self.breaker_window,
+                cooldown=self.cooldown_rounds,
+                max_flaps=self.max_flaps,
+            )
+            self.breakers[device_id] = brk
+        return brk
+
+    def breaker_states(self) -> dict[str, str]:
+        """Live per-device breaker state (stats gauge)."""
+        return {
+            device_id: self.breakers[device_id].state
+            if device_id in self.breakers
+            else BREAKER_CLOSED
+            for device_id in self.server.pool.devices
+        }
+
+    # -- session lifecycle (called by the server) ----------------------------------
+
+    def track_session(self, session: "TenantSession") -> None:
+        self.store.register(session.session_id)
+
+    def forget_session(self, session: "TenantSession") -> None:
+        self.store.drop(session.session_id)
+
+    def note_completed(self, ticket: Ticket) -> None:
+        """Record a resolved ticket into its session's replay suffix.
+
+        Only commands whose effects *persist* are logged: clean results
+        and Lisp-level errors (partial effects survive in the session
+        root). Device faults are excluded — containable ones rolled the
+        job's nursery back and batch-fatal ones reset the whole nursery,
+        so the command left no state to reproduce; replaying it would
+        only re-raise the fault (or, for an injected device-killer,
+        re-kill every device it ever replays on).
+        """
+        if not self.store.tracked(ticket.session.session_id):
+            return
+        if ticket.error is None or isinstance(ticket.error, LispError):
+            self.store.record_completed(ticket.session.session_id, ticket.text)
+
+    # -- the watchdog wrap (called by the scheduler) -------------------------------
+
+    def submit(
+        self, pdev: "PooledDevice", requests: list[BatchRequest]
+    ) -> "BatchResult":
+        """Submit one batch under chaos injection and the round deadline.
+
+        Raises :class:`DeviceLostError` / :class:`DeviceHangError` with a
+        ``work_ran`` attribute telling the loss handler whether the round
+        executed before the device died (hang: yes — at-least-once
+        replay territory) or never started (kill: no — plain retry).
+        """
+        event = self.chaos.draw(pdev.device_id) if self.chaos is not None else None
+        if event == "kill":
+            pdev.device.mark_lost("chaos: killed before the round was submitted")
+            exc = DeviceLostError(
+                f"device {pdev.device_id} lost: chaos kill before round"
+            )
+            exc.work_ran = False
+            raise exc
+        t0 = time.perf_counter()
+        result = pdev.device.submit_batch(requests)
+        elapsed_ms = (time.perf_counter() - t0) * 1000.0
+        if event == "hang" or elapsed_ms > self.round_deadline_ms:
+            reason = (
+                "chaos: hung after the round executed"
+                if event == "hang"
+                else f"round overran its {self.round_deadline_ms:.0f} ms deadline"
+            )
+            pdev.device.mark_lost(reason)
+            exc = DeviceHangError(f"device {pdev.device_id} hung: {reason}")
+            exc.work_ran = True
+            raise exc
+        if pdev.device.lost:
+            # Heartbeat: something inside the round marked the device
+            # lost without aborting the batch — the result can't be
+            # trusted past a silent device.
+            exc = DeviceHangError(
+                f"device {pdev.device_id} went silent during the round"
+            )
+            exc.work_ran = True
+            raise exc
+        return result
+
+    # -- loss handling -------------------------------------------------------------
+
+    def on_device_loss(
+        self,
+        pdev: "PooledDevice",
+        batch: list[Ticket],
+        exc: Exception,
+        stats: Optional["ServerStats"] = None,
+    ) -> None:
+        """Fail every resident session over after ``pdev`` died.
+
+        The in-flight ``batch`` (possibly empty — idle kills) and the
+        still-queued tickets are captured, the device is force-reset to
+        a fresh object (empty arena — the crash destroyed the old one),
+        and every victim session is rebuilt from its last checkpoint on
+        a surviving device with its tickets re-enqueued in order:
+        replayed suffix first, then the in-flight retry, then the queue.
+        """
+        device_id = pdev.device_id
+        hang = isinstance(exc, DeviceHangError)
+        work_ran = bool(getattr(exc, "work_ran", True))
+        if not pdev.device.lost:
+            pdev.device.mark_lost(str(exc))
+        if stats is not None:
+            stats.record_device_lost(
+                device_id, hang=hang,
+                detect_ms=self.hang_detect_ms if hang else 0.0,
+            )
+        brk = self.breaker(device_id)
+        was_open = brk.state != BREAKER_CLOSED
+        state = brk.record_failure(self.round_no)
+        if state == BREAKER_OPEN:
+            pdev.draining = True  # placement avoids it until a probe passes
+            if not was_open and stats is not None:
+                stats.record_breaker_open(device_id)
+        # Capture victims and work before the reset wipes the queue view.
+        victims = [
+            s
+            for s in self.server.sessions.values()
+            if s.device_id == device_id
+        ]
+        queued = list(pdev.queue)
+        pdev.queue.clear()
+        self.server.pool.revive(device_id)
+        if brk.flapping:
+            self._maybe_evict(pdev, stats)
+        # Per-ticket failover accounting on the in-flight batch: a
+        # ticket that has already ridden through too many losses is the
+        # common factor — resolve it poisoned instead of retrying again
+        # (this is what bounds drain() under a device-killing request).
+        survivors: list[Ticket] = []
+        for ticket in batch:
+            ticket.failovers += 1
+            if ticket.failovers > self.max_ticket_failovers:
+                self._resolve_poisoned(ticket, exc, device_id, stats)
+            else:
+                if work_ran:
+                    # The round executed before the device died, so any
+                    # request in it may be the killer: solo-retry each
+                    # (same ambiguity as a batch-fatal quarantine).
+                    ticket.quarantined = True
+                survivors.append(ticket)
+        by_session_inflight: dict[str, list[Ticket]] = {}
+        for ticket in survivors:
+            by_session_inflight.setdefault(
+                ticket.session.session_id, []
+            ).append(ticket)
+        by_session_queued: dict[str, list[Ticket]] = {}
+        for ticket in queued:
+            by_session_queued.setdefault(
+                ticket.session.session_id, []
+            ).append(ticket)
+        for session in victims:
+            self._recover_session(
+                session,
+                exclude={device_id},
+                inflight=by_session_inflight.get(session.session_id, []),
+                queued=by_session_queued.get(session.session_id, []),
+                cause=exc,
+                stats=stats,
+            )
+
+    def kill_device(
+        self, device_id: str, reason: str = "operator kill", hang: bool = False
+    ) -> None:
+        """Kill a device now (test/ops hook): mark it lost and run the
+        full failover path with no batch in flight."""
+        pdev = self.server.pool[device_id]
+        pdev.device.mark_lost(reason)
+        exc_type = DeviceHangError if hang else DeviceLostError
+        exc = exc_type(f"device {device_id} lost: {reason}")
+        exc.work_ran = False
+        self.on_device_loss(pdev, [], exc, self.server.stats)
+
+    # -- recovery ------------------------------------------------------------------
+
+    def _recover_session(
+        self,
+        session: "TenantSession",
+        exclude: set,
+        inflight: list[Ticket],
+        queued: list[Ticket],
+        cause: Exception,
+        stats: Optional["ServerStats"],
+    ) -> None:
+        sid = session.session_id
+        pool = self.server.pool
+        snap = self.store.get(sid)
+        suffix = self.store.suffix(sid)
+        target: Optional["PooledDevice"] = None
+        env = None
+        tried: set = set()
+        # Placement ladder: least-loaded surviving device first; an
+        # arena-exhausted restore cleans the target (a major collection
+        # reclaims any orphans a previous failed restore left) and
+        # retries once there, then moves to the next device. The pool's
+        # never-refuse fallback means the freshly revived device is the
+        # last resort — its arena is empty, so a checkpoint that fits
+        # anywhere fits there.
+        for _ in range(max(1, len(pool.devices))):
+            pdev = pool.place_session(exclude=set(exclude) | tried)
+            try:
+                if snap is not None:
+                    try:
+                        env = restore_env(snap, pdev.device.interp, label=sid)
+                    except ArenaExhaustedError:
+                        pdev.device.interp.collect_major()
+                        env = restore_env(snap, pdev.device.interp, label=sid)
+                else:
+                    env = pdev.device.create_session_env(label=sid)
+                target = pdev
+                break
+            except CuLiError:
+                # Atomicity: a failed restore installs no binding (see
+                # restore_env), so the co-tenants on this device saw
+                # nothing. Sweep the attempt's orphaned nodes now —
+                # the device is left exactly as it was — and try the
+                # next candidate.
+                pdev.device.interp.collect_major()
+                pool.session_closed(pdev.device_id)
+                tried.add(pdev.device_id)
+        if target is None or env is None:
+            self._abandon_session(session, inflight + queued, cause, stats)
+            return
+        session.env = env
+        session.device_id = target.device_id
+        # Restoring the checkpoint moves its bytes host->device for real:
+        # charge the wire like a migration's destination half.
+        if snap is not None:
+            ms = link_ms(target, snap.nbytes)
+            if stats is not None:
+                stats.record_failover_restore(
+                    target.device_id, snap.nbytes, ms
+                )
+        # Re-enqueue in recovery order: the replayed suffix rebuilds the
+        # post-checkpoint state, then the lost round's retry, then the
+        # untouched queue — per-session submission order holds end to end.
+        replayed = 0
+        for text in suffix:
+            ticket = Ticket(session, text)
+            ticket.replay = True
+            target.queue.append(ticket)
+            replayed += 1
+            if stats is not None:
+                stats.record_enqueue()
+        for ticket in inflight:
+            target.queue.append(ticket)
+        for ticket in queued:
+            target.queue.append(ticket)
+        self.store.on_recovered(sid)
+        if stats is not None:
+            stats.record_session_recovered(
+                target.device_id, rpo_rounds=len(suffix), replayed=replayed
+            )
+
+    def _abandon_session(
+        self,
+        session: "TenantSession",
+        tickets: list[Ticket],
+        cause: Exception,
+        stats: Optional["ServerStats"],
+    ) -> None:
+        """Last-resort path: no device could hold the restored heap.
+        Resolve every pending ticket with the loss (never silently drop
+        one) and close the session — its checkpoint is forfeit."""
+        err = DeviceLostError(
+            f"session {session.session_id} unrecoverable: no surviving "
+            f"device could restore its checkpoint after {cause}"
+        )
+        for ticket in tickets:
+            self._resolve_poisoned(ticket, err, session.device_id, stats)
+        self.store.drop(session.session_id)
+        self.server.sessions.pop(session.session_id, None)
+        session._closed = True
+
+    def _resolve_poisoned(
+        self,
+        ticket: Ticket,
+        exc: Exception,
+        device_id: str,
+        stats: Optional["ServerStats"],
+    ) -> None:
+        ticket.error = exc
+        ticket.stats = CommandStats(output=f"error: {exc}")
+        if not ticket.replay:
+            ticket.session.history.append(ticket.stats)
+        if stats is not None:
+            stats.record_poisoned(device_id, 1)
+
+    # -- eviction ------------------------------------------------------------------
+
+    def _maybe_evict(
+        self, pdev: "PooledDevice", stats: Optional["ServerStats"]
+    ) -> None:
+        """Remove a permanently flapping device from the pool — unless it
+        is the last one, or tenants are (still) resident on it."""
+        pool = self.server.pool
+        device_id = pdev.device_id
+        if len(pool.devices) <= 1:
+            return
+        if pdev.queue or any(
+            s.device_id == device_id for s in self.server.sessions.values()
+        ):
+            return
+        pool.evict(device_id)
+        self.breakers.pop(device_id, None)
+        if stats is not None:
+            stats.record_device_evicted(device_id)
+
+    # -- the between-rounds hook (called by the scheduler) -------------------------
+
+    def after_round(self, stats: Optional["ServerStats"] = None) -> None:
+        """Runs while no ticket is in flight: idle chaos, breaker
+        lifecycle (cooldown ticks, half-open probes), interval
+        checkpoints, and per-device uptime accounting."""
+        self.round_no += 1
+        pool = self.server.pool
+        if self.chaos is not None:
+            for pdev in list(pool.devices.values()):
+                if pdev.device.lost:
+                    continue
+                if self.chaos.draw_idle(pdev.device_id):
+                    pdev.device.mark_lost("chaos: idle kill between rounds")
+                    exc = DeviceLostError(
+                        f"device {pdev.device_id} lost: chaos idle kill"
+                    )
+                    exc.work_ran = False
+                    self.on_device_loss(pdev, [], exc, stats)
+        # Fold Rebalancer fault-drains into the breaker lifecycle: a
+        # drained device used to need a manual reset_device call to ever
+        # serve again; tripping its breaker gives it the same automated
+        # cooldown -> probe -> close road back every lost device gets.
+        fresh_trips: set = set()
+        for pdev in pool.devices.values():
+            if pdev.draining:
+                brk = self.breaker(pdev.device_id)
+                if brk.state == BREAKER_CLOSED:
+                    brk.trip()
+                    fresh_trips.add(pdev.device_id)
+                    if stats is not None:
+                        stats.record_breaker_open(pdev.device_id)
+        for device_id, brk in list(self.breakers.items()):
+            pdev = pool.devices.get(device_id)
+            if pdev is None:
+                continue  # evicted
+            if device_id in fresh_trips:
+                continue  # cooldown starts counting next round
+            brk.tick()
+            if brk.state == BREAKER_HALF_OPEN:
+                self._probe(pdev, brk, stats)
+        # Interval checkpoints (between rounds: no nursery open, every
+        # session idle — the snapshot sees a consistent heap).
+        for session in list(self.server.sessions.values()):
+            if not self.store.due(session.session_id):
+                continue
+            pdev = pool.devices.get(session.device_id)
+            snap, shipped = self.store.checkpoint(session)
+            if stats is not None:
+                if shipped and pdev is not None:
+                    stats.record_checkpoint(
+                        pdev.device_id, snap.nbytes, link_ms(pdev, snap.nbytes)
+                    )
+                else:
+                    stats.record_checkpoint_skipped()
+        if stats is not None:
+            for device_id, pdev in pool.devices.items():
+                dstats = stats.per_device.get(device_id)
+                if dstats is None:
+                    continue
+                dstats.rounds_total += 1
+                if not pdev.draining and not pdev.device.lost:
+                    dstats.rounds_up += 1
+
+    # -- probes --------------------------------------------------------------------
+
+    def _probe(
+        self,
+        pdev: "PooledDevice",
+        brk: CircuitBreaker,
+        stats: Optional["ServerStats"],
+    ) -> None:
+        """Half-open probe: one synthetic no-tenant batch decides whether
+        the device returns to service or flaps back open."""
+        device_id = pdev.device_id
+        if stats is not None:
+            stats.record_probe(device_id)
+        request = BatchRequest(text=self.PROBE_TEXT, env=None, tag="__probe__")
+        try:
+            result = self.submit(pdev, [request])
+            ok = (
+                len(result.items) == 1
+                and result.items[0].error is None
+                and result.items[0].stats.output == self.PROBE_ANSWER
+            )
+        except DeviceLostError as exc:
+            if stats is not None:
+                stats.record_device_lost(
+                    device_id,
+                    hang=isinstance(exc, DeviceHangError),
+                    detect_ms=self.hang_detect_ms
+                    if isinstance(exc, DeviceHangError)
+                    else 0.0,
+                )
+            brk.record_failure(self.round_no)  # half-open failure = flap
+            self.server.pool.revive(device_id)
+            if brk.flapping:
+                self._maybe_evict(pdev, stats)
+            return
+        except CuLiError:
+            brk.record_failure(self.round_no)
+            if brk.flapping:
+                self._maybe_evict(pdev, stats)
+            return
+        if not ok:
+            brk.record_failure(self.round_no)
+            if brk.flapping:
+                self._maybe_evict(pdev, stats)
+            return
+        brk.on_probe_success()
+        pdev.draining = False
+        if stats is not None:
+            stats.record_probe_ok(device_id, result.times.total_ms)
+        if self.server.rebalancer is not None:
+            # Forgive the fault marks the Rebalancer counted: the probe
+            # just demonstrated the device serves again, and stale marks
+            # would re-drain it on its first new fault.
+            self.server.rebalancer.reset_device(device_id)
