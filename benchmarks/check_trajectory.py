@@ -1,0 +1,134 @@
+"""Perf-trajectory gate: diff fresh bench JSON against the committed baseline.
+
+Every bench run with ``--json-out DIR`` drops machine-readable
+``BENCH_<module>.json`` files, but those are gitignored and CI only
+*uploads* them — so until this gate existed the repo's perf history was
+empty and a modeled-performance regression could land silently. The fix:
+``benchmarks/baselines/BENCH_serve.json`` is a committed snapshot of the
+serve-family simulated metrics (throughput, rebalance, failover,
+continuous batching — all seeded and deterministic), and the perf-smoke
+job diffs every fresh run against it.
+
+Check a fresh run (exit 1 on drift beyond tolerance)::
+
+    python benchmarks/check_trajectory.py bench-results
+
+Rebuild the baseline after an *intentional* model change::
+
+    python benchmarks/check_trajectory.py bench-results --rebuild
+
+Because every number in the snapshot is simulated (modeled device ms,
+modeled jobs/s — never host wall time), the default tolerance is a
+tight 5%: honest drift, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Bench modules whose points feed the serve-family baseline.
+SERVE_MODULES = ("serve_throughput", "rebalance", "failover", "continuous_batching")
+
+BASELINE = os.path.join(os.path.dirname(__file__), "baselines", "BENCH_serve.json")
+
+
+def load_results(results_dir: str) -> dict:
+    """Read ``BENCH_<module>.json`` files for the serve-family modules."""
+    modules: dict = {}
+    for module in SERVE_MODULES:
+        path = os.path.join(results_dir, f"BENCH_{module}.json")
+        if not os.path.exists(path):
+            continue
+        with open(path) as fh:
+            modules[module] = json.load(fh)["points"]
+    return modules
+
+
+def numeric_metrics(point: dict) -> dict:
+    return {
+        key: value
+        for key, value in point.items()
+        if key != "test" and isinstance(value, (int, float))
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """All drift violations between the two snapshots (empty = green)."""
+    problems: list[str] = []
+    for module, base_points in baseline.items():
+        fresh_points = {p["test"]: p for p in fresh.get(module, [])}
+        if not fresh_points:
+            problems.append(f"{module}: no fresh results (bench not run?)")
+            continue
+        for base in base_points:
+            test = base["test"]
+            point = fresh_points.get(test)
+            if point is None:
+                problems.append(f"{module}: baseline test vanished: {test}")
+                continue
+            for key, expected in numeric_metrics(base).items():
+                if key not in point:
+                    problems.append(f"{test}: metric vanished: {key}")
+                    continue
+                actual = point[key]
+                scale = max(abs(expected), 1e-9)
+                drift = abs(actual - expected) / scale
+                if drift > tolerance:
+                    problems.append(
+                        f"{test}: {key} drifted {drift * 100.0:.1f}% "
+                        f"(baseline {expected:g}, fresh {actual:g})"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", help="directory holding fresh BENCH_*.json")
+    parser.add_argument(
+        "--baseline", default=BASELINE, help="committed snapshot to diff against"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="max relative drift per metric (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--rebuild", action="store_true",
+        help="overwrite the baseline from the fresh results instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_results(args.results_dir)
+    if args.rebuild:
+        if not fresh:
+            print(f"no serve-family BENCH_*.json under {args.results_dir}", file=sys.stderr)
+            return 2
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump({"modules": fresh}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        n = sum(len(points) for points in fresh.values())
+        print(f"baseline rebuilt: {args.baseline} ({len(fresh)} module(s), {n} point(s))")
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)["modules"]
+    problems = compare(baseline, fresh, args.tolerance)
+    if problems:
+        print(f"perf trajectory DRIFTED vs {args.baseline}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        print(
+            "if the change is intentional, rerun with --rebuild and commit "
+            "the new baseline"
+        )
+        return 1
+    n = sum(len(points) for points in baseline.values())
+    print(f"perf trajectory OK: {n} baseline point(s) within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

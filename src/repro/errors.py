@@ -169,6 +169,17 @@ class UnbalancedInputError(HostProtocolError):
     """
 
 
+class AdmissionError(CuLiError):
+    """The serving layer refused to enqueue a request (backpressure).
+
+    Raised by :meth:`~repro.serve.server.CuLiServer.submit` when a
+    tenant already has ``max_session_queue`` unresolved tickets queued:
+    admission control sheds load at the front door instead of letting a
+    bulk tenant grow an unbounded queue that inflates everyone's tail
+    latency. The tenant should drain (flush) and resubmit.
+    """
+
+
 class UnknownDeviceError(CuLiError):
     """A device name not present in the registry was requested."""
 

@@ -336,6 +336,8 @@ class GPUDevice:
                 merged.times = merged.times.merged_with(part.times)
                 merged.jobs += part.jobs
                 merged.rounds += part.rounds
+                merged.upload_ms += part.upload_ms
+                merged.download_ms += part.download_ms
                 merged.nodes_freed += part.nodes_freed
                 merged.regions_reset += part.regions_reset
                 merged.major_collections += part.major_collections
@@ -566,6 +568,8 @@ class GPUDevice:
             times=batch_times,
             jobs=self.engine.jobs,
             rounds=self.engine.round_count,
+            upload_ms=up_ms,
+            download_ms=down_ms,
             nodes_freed=freed,
             regions_reset=regions_reset,
             major_collections=majors,

@@ -75,6 +75,16 @@ class BatchResult:
     times: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     jobs: int = 0          #: worker jobs executed (service + nested |||)
     rounds: int = 0        #: shared distribution rounds used
+    # Direction-split command-buffer transfer (continuous-batching PR):
+    # the async scheduler's event timeline needs to know which part of
+    # ``times.transfer_ms`` is the host->device payload upload (can
+    # overlap the *previous* batch's kernel occupancy under double
+    # buffering) and which is the device->host result download (serial
+    # after this batch's kernel). Mid-eval file-service transfers stay
+    # inside kernel occupancy and are in neither. Zero on CPU devices
+    # (shared memory).
+    upload_ms: float = 0.0
+    download_ms: float = 0.0
     nodes_freed: int = 0   #: nodes reclaimed by end-of-batch collection
     # GC work performed by the end-of-batch collection (satellite of the
     # generational-GC PR). ``times.gc_ms`` carries the *modeled* device

@@ -16,13 +16,16 @@ See ``examples/serve_demo.py`` for a tour and
 comparison.
 """
 
+from ..errors import AdmissionError
 from .chaos import ChaosMonkey
 from .checkpoint import CheckpointStore
 from .pool import DevicePool, PooledDevice, link_ms
-from .scheduler import Rebalancer, Scheduler
+from .scheduler import SCHEDULER_MODES, Rebalancer, Scheduler
 from .server import CuLiServer
 from .session import TenantSession, Ticket
-from .stats import DeviceStats, MigrationRecord, ServerStats
+from .stats import DeviceStats, LatencyReservoir, MigrationRecord, ServerStats
+from .timeline import DevicePipeline, PipelineSlot
+from .traces import TraceRequest, generate_trace, replay_trace
 from .supervisor import (
     BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
@@ -32,8 +35,16 @@ from .supervisor import (
 )
 
 __all__ = [
+    "AdmissionError",
     "CuLiServer",
     "ChaosMonkey",
+    "DevicePipeline",
+    "PipelineSlot",
+    "LatencyReservoir",
+    "SCHEDULER_MODES",
+    "TraceRequest",
+    "generate_trace",
+    "replay_trace",
     "CheckpointStore",
     "CircuitBreaker",
     "DeviceSupervisor",

@@ -14,6 +14,30 @@ as shared ``|||`` service rounds on the GPU (one handshake, one PCIe
 transaction, tenants evaluated concurrently by worker warps) or as
 pthread waves on the CPU.
 
+Two drain disciplines share that machinery (``CuLiServer(scheduler=)``):
+
+* **lockstep** — the original global rounds: every device runs one
+  batch per pass, and the pass ends at a fleet-wide barrier where the
+  rebalancer and supervisor hooks run. On the modeled clock every
+  ticket of a round resolves when the *slowest* device's batch ends —
+  the barrier's tail-latency cost, charged honestly.
+* **async (continuous batching)** — the default: each device owns a
+  :class:`~repro.serve.timeline.DevicePipeline` (double-buffered
+  command buffers on a virtual event timeline — batch *k+1*'s payload
+  upload overlaps batch *k*'s kernel), requests are admitted into the
+  next in-flight batch as slots free under deadline-aware (EDF)
+  ordering, and each device's batches resolve at their own pipeline
+  completion — no barrier. The between-rounds hooks re-anchor to
+  per-device *safe points* (:meth:`Rebalancer.at_safe_point`,
+  ``DeviceSupervisor.at_safe_point``): a device is quiescent right
+  after its own dispatch resolves, regardless of what the rest of the
+  fleet is doing.
+
+Per-tenant transcripts are byte-identical across the two disciplines
+(property-pinned): async reorders *across* sessions only; each
+session's commands still execute in submission order against the same
+placed heap.
+
 Fault isolation: containable device faults (arena exhaustion, a per-job
 livelock) come back from ``submit_batch`` as per-item errors — the
 faulting ticket resolves with its error and every co-tenant's ticket
@@ -32,8 +56,9 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import CuLiError, DeviceLostError
 from ..gpu.hostlink import sanitize_input
-from ..runtime.batch import BatchRequest
+from ..runtime.batch import BatchRequest, BatchResult
 from ..timing import CommandStats
+from .timeline import DevicePipeline
 
 if TYPE_CHECKING:  # pragma: no cover
     from .pool import DevicePool, PooledDevice
@@ -44,21 +69,86 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Scheduler", "Rebalancer"]
 
+#: Valid ``Scheduler(mode=)`` / ``CuLiServer(scheduler=)`` values.
+SCHEDULER_MODES = ("lockstep", "async")
+
 
 class Scheduler:
     """Forms batches from per-device queues and dispatches them."""
 
-    def __init__(self, pool: "DevicePool", max_batch: int = 32) -> None:
+    def __init__(
+        self,
+        pool: "DevicePool",
+        max_batch: int = 32,
+        mode: str = "lockstep",
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if mode not in SCHEDULER_MODES:
+            raise ValueError(
+                f"unknown scheduler mode {mode!r}: expected one of "
+                f"{SCHEDULER_MODES}"
+            )
         self.pool = pool
         self.max_batch = max_batch
+        self.mode = mode
         #: Installed by :class:`~repro.serve.supervisor.DeviceSupervisor`
         #: (failover-enabled servers): wraps submissions with the
         #: watchdog/chaos layer and owns device-loss recovery. None keeps
         #: the pre-failover behaviour exactly (losses degrade to the
         #: batch-fatal quarantine path).
         self.supervisor: Optional["DeviceSupervisor"] = None
+        #: Fleet virtual clock (simulated ms): the arrival watermark for
+        #: requests submitted without an explicit ``arrival_ms``, and —
+        #: in lockstep mode — the running round-end clock.
+        self.clock_ms = 0.0
+        #: Per-device event timelines (async mode). Keyed by device id;
+        #: survives device resets — a failover replaces the device
+        #: object, not the passage of virtual time.
+        self.pipelines: dict[str, DevicePipeline] = {}
+
+    def pipeline(self, device_id: str) -> DevicePipeline:
+        """This device's event timeline (created on first use)."""
+        pipe = self.pipelines.get(device_id)
+        if pipe is None:
+            pipe = self.pipelines[device_id] = DevicePipeline()
+        return pipe
+
+    @property
+    def now_ms(self) -> float:
+        """The fleet watermark: default arrival stamp for new requests."""
+        if self.mode == "async" and self.pipelines:
+            return max(
+                self.clock_ms,
+                max(p.completed_ms for p in self.pipelines.values()),
+            )
+        return self.clock_ms
+
+    @property
+    def makespan_ms(self) -> float:
+        """Modeled fleet completion time under this drain discipline:
+        lockstep's sum-of-round-maxima clock, or the latest async
+        pipeline completion. (Distinct from
+        ``ServerStats.simulated_makespan_ms``, which is pure per-device
+        busy occupancy and ignores scheduling.)"""
+        return self.now_ms
+
+    def pipeline_snapshot(self) -> dict:
+        """Gauge payload for ``ServerStats.snapshot()["scheduler"]``."""
+        return {
+            "mode": self.mode,
+            "clock_ms": round(self.clock_ms, 3),
+            "makespan_ms": round(self.makespan_ms, 3),
+            "devices": {
+                did: {
+                    "completed_ms": round(p.completed_ms, 3),
+                    "serial_ms": round(p.serial_ms, 3),
+                    "overlap_ms": round(p.overlap_ms, 3),
+                    "batches": p.batches,
+                }
+                for did, p in sorted(self.pipelines.items())
+            },
+        }
 
     # -- batch formation ----------------------------------------------------------
 
@@ -118,13 +208,79 @@ class Scheduler:
             queue.appendleft(ticket)
         return batch
 
+    def form_batch_async(self, pdev: "PooledDevice") -> list["Ticket"]:
+        """Deadline-aware batch formation for the continuous pipeline.
+
+        Candidates are each session's *head-of-line* ticket (per-session
+        FIFO is inviolable). A candidate is admissible once it has
+        arrived by the device's admission horizon — the virtual time the
+        next batch's kernel could start; if nothing has arrived by then
+        the horizon jumps forward to the earliest head arrival, so a
+        non-empty queue always yields a batch. Admissible candidates are
+        taken in EDF order: earliest ``deadline_ms`` first (bulk tenants
+        carry +inf deadlines, so they fall behind every SLO-bearing
+        request but age FIFO among themselves), ties broken by arrival
+        then global submission order — a total, deterministic order.
+
+        The capacity and quarantine rules match :meth:`form_batch`: the
+        combined payload stays within the command buffer, and a
+        quarantined ticket only ever runs alone. With no SLOs and equal
+        arrivals the EDF key degenerates to submission order, so this
+        forms byte-identical batches to the lockstep walk — the
+        degenerate-case anchor for the oracle property.
+        """
+        queue = pdev.queue
+        if not queue:
+            return []
+        heads: list["Ticket"] = []
+        seen: set[str] = set()
+        for ticket in queue:
+            sid = ticket.session.session_id
+            if sid in seen:
+                continue
+            seen.add(sid)
+            heads.append(ticket)
+        horizon = self.pipeline(pdev.device_id).horizon_ms
+        earliest = min(t.arrival_ms for t in heads)
+        horizon = max(horizon, earliest)
+        admissible = [t for t in heads if t.arrival_ms <= horizon]
+        admissible.sort(key=lambda t: (t.deadline_ms, t.arrival_ms, t.seq))
+
+        cmdbuf = getattr(pdev.device, "cmdbuf", None)
+        capacity = cmdbuf.capacity if cmdbuf is not None else None
+        batch: list["Ticket"] = []
+        payload = 0
+        for ticket in admissible:
+            if ticket.quarantined:
+                if not batch:
+                    batch.append(ticket)  # solo quarantine batch
+                break
+            size = self.payload_size(ticket.text)
+            if capacity is not None and batch and payload + size > capacity:
+                break
+            payload += size
+            batch.append(ticket)
+            if len(batch) >= self.max_batch:
+                break
+        chosen = set(map(id, batch))
+        remaining = [t for t in queue if id(t) not in chosen]
+        queue.clear()
+        queue.extend(remaining)
+        return batch
+
     # -- dispatch -----------------------------------------------------------------
 
     def dispatch(
         self, pdev: "PooledDevice", batch: list["Ticket"],
         stats: Optional["ServerStats"] = None,
-    ) -> None:
+    ) -> Optional[BatchResult]:
         """Execute one batch on one device and resolve its tickets.
+
+        Returns the :class:`~repro.runtime.batch.BatchResult` on a
+        completed transaction (the drain loops charge it to the modeled
+        clock/pipeline), or ``None`` when the transaction did not
+        complete — device loss or batch-fatal failure, both handled
+        internally.
 
         Contained failures (Lisp errors, containable device faults) come
         back as per-item errors and resolve only their own ticket. A
@@ -137,7 +293,7 @@ class Scheduler:
         propagates loudly.
         """
         if not batch:
-            return
+            return None
         requests = [
             BatchRequest(
                 text=ticket.text,
@@ -158,41 +314,37 @@ class Scheduler:
                 # the supervisor force-resets it and rebuilds the victim
                 # sessions from their checkpoints on surviving devices.
                 supervisor.on_device_loss(pdev, batch, exc, stats)
-                return
+                return None
             # Without a supervisor a loss degrades to the batch-fatal
             # quarantine path (the device object survives in simulation,
             # so solo retries still serve).
             self._handle_fatal_batch(pdev, batch, exc, stats)
-            return
+            return None
         except CuLiError as exc:
             self._handle_fatal_batch(pdev, batch, exc, stats)
-            return
+            return None
         except Exception as exc:
             # A simulator bug, not a modeled device failure: resolve the
             # popped tickets (a lost ticket would hang its tenant) and
             # let the crash surface instead of masking it as quarantine.
             for ticket in batch:
-                ticket.error = exc
-                ticket.stats = CommandStats(output=f"error: {exc}")
-                if not ticket.replay:
-                    ticket.session.history.append(ticket.stats)
+                ticket.resolve(CommandStats(output=f"error: {exc}"), exc)
             raise
         replayed = 0
         for ticket, item in zip(batch, result.items):
-            ticket.stats = item.stats
-            ticket.error = item.error
+            # Recovery replays never rejoin the session history: the
+            # tenant already saw this command's result, the re-execution
+            # only rebuilds session state (resolve() skips them).
+            ticket.resolve(item.stats, item.error)
             if ticket.replay:
-                # Recovery replay: the tenant already saw this command's
-                # result; the re-execution only rebuilds session state.
                 replayed += 1
-            else:
-                ticket.session.history.append(item.stats)
             if supervisor is not None:
                 supervisor.note_completed(ticket)
         if stats is not None:
             stats.record_batch(pdev.device_id, result)
             if replayed:
                 stats.record_replayed(replayed)
+        return result
 
     def _handle_fatal_batch(
         self,
@@ -226,10 +378,7 @@ class Scheduler:
         retried = [t for t in batch if len(batch) > 1 and not t.quarantined]
         poisoned = [t for t in batch if t not in retried]
         for ticket in poisoned:
-            ticket.error = exc
-            ticket.stats = CommandStats(output=f"error: {exc}")
-            if not ticket.replay:
-                ticket.session.history.append(ticket.stats)
+            ticket.resolve(CommandStats(output=f"error: {exc}"), exc)
         if stats is not None and poisoned:
             stats.record_poisoned(pdev.device_id, len(poisoned))
         for ticket in reversed(retried):
@@ -245,13 +394,61 @@ class Scheduler:
     ) -> int:
         """Serve every queued request; returns the number of batches run.
 
+        Dispatches to the drain discipline selected at construction:
+        :meth:`_drain_lockstep` (global rounds with fleet barriers) or
+        :meth:`_drain_async` (per-device continuous pipelines with
+        device-local safe points). Both always terminate with zero
+        pending tickets: a batch-fatal device failure converts its
+        tickets into solo quarantine retries, a quarantined ticket that
+        fails again resolves with its error instead of looping, and
+        failover re-enqueues are bounded by the per-ticket failover cap.
+        """
+        if self.mode == "async":
+            return self._drain_async(stats, rebalancer)
+        return self._drain_lockstep(stats, rebalancer)
+
+    @staticmethod
+    def _stamp_latencies(
+        batch: list["Ticket"],
+        resolve_ms: float,
+        stats: Optional["ServerStats"],
+    ) -> None:
+        """Stamp every newly-resolved ticket of ``batch`` with its
+        virtual resolve time and record enqueue->resolve latency.
+
+        Covers every resolution path that runs inside a drain (normal
+        completion, poisoned quarantine, failover-cap poisoning) because
+        it keys on *done and not yet stamped*. Replay tickets are
+        internal recovery work — the tenant is not waiting on them — so
+        they are stamped but never recorded in the latency reservoir.
+        Close-time cancellations happen outside any drain and are
+        deliberately absent from the reservoir too.
+        """
+        for ticket in batch:
+            if ticket.done and ticket.resolve_ms is None:
+                ticket.resolve_ms = resolve_ms
+                if stats is not None and not ticket.replay:
+                    stats.record_latency(
+                        max(0.0, resolve_ms - ticket.arrival_ms)
+                    )
+
+    def _drain_lockstep(
+        self,
+        stats: Optional["ServerStats"],
+        rebalancer: Optional["Rebalancer"],
+    ) -> int:
+        """The original global drain rounds.
+
         Each pass forms one batch per device (devices run concurrently in
         simulated time), repeating until all queues are empty — a session
         with k queued commands therefore takes k batches, in order.
-        Always terminates with zero pending tickets: a batch-fatal device
-        failure converts its tickets into solo quarantine retries, and a
-        quarantined ticket that fails again resolves with its error
-        instead of looping.
+
+        On the virtual clock the pass is a *barrier*: every batch starts
+        no earlier than the round clock (and no earlier than its latest
+        request arrival), and every ticket of the round — fast device or
+        slow — resolves when the slowest batch ends. That is the cost
+        the async pipelines exist to remove, charged honestly here so
+        the two disciplines are comparable on one timeline.
 
         A ``rebalancer`` runs between rounds — after every device's
         batch of the pass has resolved, when no ticket is in flight — so
@@ -270,15 +467,101 @@ class Scheduler:
         """
         batches = 0
         while self.pool.pending:
+            round_batches: list[list["Ticket"]] = []
+            round_end = self.clock_ms
             for pdev in list(self.pool.devices.values()):
                 batch = self.form_batch(pdev)
                 if batch:
-                    self.dispatch(pdev, batch, stats)
+                    result = self.dispatch(pdev, batch, stats)
                     batches += 1
+                    round_batches.append(batch)
+                    if result is not None:
+                        floor = max(
+                            self.clock_ms,
+                            max(t.arrival_ms for t in batch),
+                        )
+                        round_end = max(
+                            round_end, floor + result.times.total_ms
+                        )
+            self.clock_ms = round_end
+            for batch in round_batches:
+                self._stamp_latencies(batch, round_end, stats)
             if rebalancer is not None:
                 rebalancer.after_round(stats)
             if self.supervisor is not None:
                 self.supervisor.after_round(stats)
+        return batches
+
+    def _drain_async(
+        self,
+        stats: Optional["ServerStats"],
+        rebalancer: Optional["Rebalancer"],
+    ) -> int:
+        """Continuous batching: per-device pipelines, no fleet barrier.
+
+        Each sweep gives every device one admission opportunity: form a
+        deadline-ordered batch from whatever has arrived by the device's
+        pipeline horizon, dispatch it, and charge it onto the device's
+        event timeline — upload on the up-link (overlapping the previous
+        batch's kernel under double buffering), kernel on the engine,
+        download on the down-link. The batch's tickets resolve at *its
+        own* pipeline completion; a fast device never waits for a slow
+        one, which is where the modeled throughput and tail-latency win
+        over lockstep comes from.
+
+        Immediately after a device's dispatch resolves, that device is
+        quiescent — nothing of *its* is in flight — so its **safe
+        point** runs: the rebalancer's per-device policy slice and the
+        supervisor's (idle chaos, breaker tick/probe, interval
+        checkpoints for resident sessions). Cross-device migrations at a
+        safe point only ever touch queued (never in-flight) tickets,
+        same as the lockstep barrier guaranteed globally.
+
+        Termination matches lockstep: quarantine resolves or retries
+        solo, failover re-enqueues are bounded per ticket, and the
+        horizon rule guarantees a non-empty queue always yields a batch.
+        """
+        batches = 0
+        while self.pool.pending:
+            for pdev in list(self.pool.devices.values()):
+                batch = self.form_batch_async(pdev)
+                if not batch:
+                    continue
+                pipe = self.pipeline(pdev.device_id)
+                floor = max(t.arrival_ms for t in batch)
+                result = self.dispatch(pdev, batch, stats)
+                batches += 1
+                if result is not None:
+                    kernel_ms = max(
+                        0.0,
+                        result.times.total_ms
+                        - result.upload_ms
+                        - result.download_ms,
+                    )
+                    done = pipe.charge(
+                        floor,
+                        result.upload_ms,
+                        kernel_ms,
+                        result.download_ms,
+                    )
+                else:
+                    # Failed transaction: the model carries no abort
+                    # cost; resolve any poisoned tickets at the current
+                    # horizon.
+                    done = max(pipe.horizon_ms, floor)
+                self._stamp_latencies(batch, done, stats)
+            # The fleet is quiescent between dispatches of the host
+            # loop, so the hooks run here: the rebalancer once (its
+            # policies are fleet-wide by nature), then each device's
+            # supervisor safe point — per-device chaos, breaker
+            # lifecycle, checkpoints, uptime — on the device's own
+            # safe-point round clock.
+            if rebalancer is not None:
+                rebalancer.at_safe_point(stats)
+            if self.supervisor is not None:
+                for pdev in list(self.pool.devices.values()):
+                    self.supervisor.at_safe_point(pdev, stats)
+        self.clock_ms = max(self.clock_ms, self.now_ms)
         return batches
 
 
@@ -365,6 +648,24 @@ class Rebalancer:
                 self._level_sessions(self.max_moves_per_round - len(moves))
             )
         return moves
+
+    def at_safe_point(
+        self, stats: Optional["ServerStats"] = None
+    ) -> list["MigrationRecord"]:
+        """The rebalancing hook re-anchored for the async scheduler.
+
+        Under lockstep the policies ran at the global round barrier; the
+        async pipelines have no barrier, but between any two dispatches
+        of the host loop nothing is physically in flight anywhere — a
+        migration only ever moves *queued* (never dispatched) tickets
+        and an *idle* session heap — so every sweep's end is a
+        fleet-quiescent point where the same policies run safely. The
+        policies themselves are unchanged: queue-depth and
+        session-count gaps mean the same thing whichever discipline
+        produced them (per-device pipeline clocks differ only in
+        *virtual* time, which the gap gates never read).
+        """
+        return self.after_round(stats)
 
     # -- fault drain ---------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from ..timing import CommandStats
 
 from ..core.interpreter import InterpreterOptions
 from ..cpu.device import CPUDeviceConfig
+from ..errors import AdmissionError
 from ..gpu.device import GPUDeviceConfig
 from ..runtime.snapshot import HeapSnapshot, restore_env, snapshot_env
 from .chaos import ChaosMonkey
@@ -58,6 +59,8 @@ class CuLiServer:
         checkpoint_interval: int = 8,
         chaos: Optional[ChaosMonkey] = None,
         failover_config: Optional[dict] = None,
+        scheduler: Optional[str] = None,
+        max_session_queue: int = 64,
     ) -> None:
         # The serving layer defaults to the fast-path ablation (interned
         # symbols, indexed session roots, parse cache, generational
@@ -106,9 +109,28 @@ class CuLiServer:
                     interpreter=InterpreterOptions.fast(**fast_overrides)
                 )
         self.pool = DevicePool(devices, gpu_config=gpu_config, cpu_config=cpu_config)
-        self.scheduler = Scheduler(self.pool, max_batch=max_batch)
+        # Drain discipline (continuous-batching PR): serving defaults to
+        # the async per-device pipelines — same ship-the-fast-mode
+        # stance as the fast path / GC / JIT tiers — while
+        # ``scheduler="lockstep"`` keeps the original global rounds as
+        # the byte-identical oracle. REPRO_SERVE_ASYNC=0 forces the
+        # lockstep ablation fleet-wide (CI's scheduler tier matrix); an
+        # explicit ``scheduler=`` argument always wins.
+        if scheduler is None:
+            scheduler = (
+                "async"
+                if os.environ.get("REPRO_SERVE_ASYNC", "1") != "0"
+                else "lockstep"
+            )
+        if max_session_queue < 1:
+            raise ValueError("max_session_queue must be >= 1")
+        #: Admission-control cap: a session with this many unresolved
+        #: tickets has further submissions refused (AdmissionError).
+        self.max_session_queue = max_session_queue
+        self.scheduler = Scheduler(self.pool, max_batch=max_batch, mode=scheduler)
         self.stats = ServerStats()
         self.stats._queue_depth_fn = self.pool.queue_depths
+        self.stats._scheduler_fn = self.scheduler.pipeline_snapshot
         for device_id, pdev in self.pool.devices.items():
             self.stats.register_device(device_id, pdev.name, pdev.kind)
         self.sessions: dict[str, TenantSession] = {}
@@ -141,8 +163,19 @@ class CuLiServer:
 
     # -- sessions -----------------------------------------------------------------
 
-    def open_session(self, name: Optional[str] = None) -> TenantSession:
-        """Open a tenant session, pinned to the least-loaded device."""
+    def open_session(
+        self, name: Optional[str] = None, slo_ms: Optional[float] = None
+    ) -> TenantSession:
+        """Open a tenant session, pinned to the least-loaded device.
+
+        ``slo_ms`` declares the tenant latency-sensitive: the async
+        scheduler orders admissible requests earliest-deadline-first
+        (deadline = arrival + slo), so an interactive tenant is served
+        ahead of bulk streams that arrived moments earlier. ``None``
+        (default) is a bulk tenant — no deadline, FIFO among peers,
+        never starved (EDF ties break by arrival, so bulk work ages to
+        the front whenever no deadline is at risk).
+        """
         if self._closed:
             raise RuntimeError("server is closed")
         session_id = name if name is not None else f"tenant-{next(self._session_counter)}"
@@ -150,7 +183,7 @@ class CuLiServer:
             raise ValueError(f"session {session_id!r} already open")
         pdev = self.pool.place_session()
         env = pdev.device.create_session_env(label=session_id)
-        session = TenantSession(self, session_id, pdev.device_id, env)
+        session = TenantSession(self, session_id, pdev.device_id, env, slo_ms=slo_ms)
         self.sessions[session_id] = session
         if self.supervisor is not None:
             self.supervisor.track_session(session)
@@ -174,10 +207,16 @@ class CuLiServer:
         cancelled = 0
         for ticket in pdev.queue:
             if ticket.session is session:
-                ticket.error = RuntimeError(
+                err = RuntimeError(
                     f"session {session.session_id} closed before execution"
                 )
-                ticket.stats = CommandStats(output=f"error: {ticket.error}")
+                # Cancellations never join the history (the tenant is
+                # gone) nor the latency reservoir (nobody was waiting).
+                ticket.resolve(
+                    CommandStats(output=f"error: {err}"),
+                    err,
+                    record_history=False,
+                )
                 cancelled += 1
             else:
                 remaining.append(ticket)
@@ -350,11 +389,34 @@ class CuLiServer:
 
     # -- request flow -------------------------------------------------------------
 
-    def submit(self, session: TenantSession, text: str) -> Ticket:
-        """Queue one command on the session's device; returns its ticket."""
+    def submit(
+        self,
+        session: TenantSession,
+        text: str,
+        arrival_ms: Optional[float] = None,
+    ) -> Ticket:
+        """Queue one command on the session's device; returns its ticket.
+
+        ``arrival_ms`` stamps the request's simulated arrival time
+        (trace replay drives this); by default it arrives "now" on the
+        scheduler's virtual clock. Admission control runs first: a
+        session already holding ``max_session_queue`` unresolved tickets
+        is refused with :class:`~repro.errors.AdmissionError` —
+        backpressure at the front door instead of an unbounded queue
+        inflating every tenant's tail latency.
+        """
         if self._closed:
             raise RuntimeError("server is closed")
-        ticket = Ticket(session, text)
+        if session.pending >= self.max_session_queue:
+            self.stats.record_rejected()
+            raise AdmissionError(
+                f"session {session.session_id} has {session.pending} "
+                f"unresolved requests (cap {self.max_session_queue}): "
+                "flush and resubmit"
+            )
+        if arrival_ms is None:
+            arrival_ms = self.scheduler.now_ms
+        ticket = Ticket(session, text, arrival_ms=arrival_ms)
         self.pool.enqueue(session.device_id, ticket)
         self.stats.record_enqueue()
         return ticket

@@ -27,13 +27,37 @@ class Ticket:
     """A pending request: filled in when its batch executes."""
 
     __slots__ = ("session", "text", "stats", "error", "quarantined", "replay",
-                 "failovers")
+                 "failovers", "arrival_ms", "deadline_ms", "seq", "resolve_ms")
 
-    def __init__(self, session: "TenantSession", text: str) -> None:
+    _seq_counter = 0
+
+    def __init__(
+        self,
+        session: "TenantSession",
+        text: str,
+        arrival_ms: float = 0.0,
+    ) -> None:
         self.session = session
         self.text = text
         self.stats: Optional[CommandStats] = None
         self.error: Optional[Exception] = None
+        #: Simulated arrival time (same virtual clock as the scheduler's
+        #: event timeline). Enqueue->resolve latency is measured on it.
+        self.arrival_ms = arrival_ms
+        #: EDF key: ``arrival + session.slo_ms`` for latency-sensitive
+        #: tenants, +inf for bulk tenants (so bulk falls back to FIFO
+        #: *behind* every deadline-bearing request, but ages by arrival
+        #: among itself).
+        slo = session.slo_ms
+        self.deadline_ms = arrival_ms + slo if slo is not None else float("inf")
+        #: Global submission order — the deterministic tie-breaker that
+        #: keeps EDF sorts total (no dependence on dict/heap iteration).
+        Ticket._seq_counter += 1
+        self.seq = Ticket._seq_counter
+        #: When the scheduler resolved this ticket on the virtual clock
+        #: (None until done). Latency = resolve_ms - arrival_ms.
+        self.resolve_ms: Optional[float] = None
+        session._pending += 1
         #: Set by the scheduler when this ticket survived a batch-fatal
         #: device failure: it is retried *alone* (a batch of one), and if
         #: that solo run fails fatally too the ticket is resolved with
@@ -49,6 +73,27 @@ class Ticket:
         #: past the supervisor's ``max_ticket_failovers`` it resolves as
         #: poisoned instead of retrying — the drain-termination bound.
         self.failovers = 0
+
+    def resolve(
+        self,
+        stats: CommandStats,
+        error: Optional[Exception] = None,
+        record_history: bool = True,
+    ) -> None:
+        """Fill in the outcome and release the tenant's admission slot.
+
+        Every resolution site (batch success, batch-fatal poisoning,
+        failover-cap poisoning, close-time cancellation) funnels through
+        here so the per-session pending count — what admission control
+        gates on — can never leak. Replay tickets never join the session
+        history (the tenant already saw their results)."""
+        first = self.stats is None
+        self.stats = stats
+        self.error = error
+        if first:
+            self.session._pending = max(0, self.session._pending - 1)
+            if record_history and not self.replay:
+                self.session.history.append(stats)
 
     @property
     def done(self) -> bool:
@@ -83,26 +128,46 @@ class TenantSession:
         session_id: str,
         device_id: str,
         env: Environment,
+        slo_ms: Optional[float] = None,
     ) -> None:
         self.server = server
         self.session_id = session_id
         self.device_id = device_id
         self.env = env
+        #: Latency SLO for this tenant in simulated ms, or None for a
+        #: bulk tenant with no deadline. Drives the async scheduler's
+        #: deadline-aware (EDF) batch ordering.
+        self.slo_ms = slo_ms
         self.history: list[CommandStats] = []
+        #: Unresolved tickets (admission control: the server refuses new
+        #: submissions past ``max_session_queue``). Maintained by
+        #: Ticket.__init__ / Ticket.resolve, includes replay tickets.
+        self._pending = 0
         self._protocol: HostProtocol[Ticket] = HostProtocol(self.submit)
         self._closed = False
 
     # -- submission ---------------------------------------------------------------
 
-    def submit(self, text: str) -> Ticket:
+    @property
+    def pending(self) -> int:
+        """Unresolved tickets queued for this session."""
+        return self._pending
+
+    def submit(self, text: str, arrival_ms: Optional[float] = None) -> Ticket:
         """Queue one command; returns immediately with a pending ticket.
 
         Commands from one session always execute in submission order
         (the scheduler batches at most one request per session per
-        round)."""
+        round). ``arrival_ms`` stamps the request's simulated arrival
+        for latency accounting and deadline ordering; by default it
+        arrives "now" on the server's virtual clock.
+
+        Raises :class:`~repro.errors.AdmissionError` when this session
+        already has ``max_session_queue`` unresolved tickets
+        (backpressure: drain with ``server.flush()`` and resubmit)."""
         if self._closed:
             raise RuntimeError(f"session {self.session_id} is closed")
-        return self.server.submit(self, text)
+        return self.server.submit(self, text, arrival_ms=arrival_ms)
 
     def eval(self, source: str) -> str:
         """Synchronous convenience: submit, flush the server, return output.

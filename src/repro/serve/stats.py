@@ -8,6 +8,7 @@ utilization is measured against that makespan.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -16,7 +17,64 @@ from ..timing import PhaseBreakdown
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.batch import BatchResult
 
-__all__ = ["DeviceStats", "MigrationRecord", "ServerStats"]
+__all__ = ["DeviceStats", "LatencyReservoir", "MigrationRecord", "ServerStats"]
+
+
+class LatencyReservoir:
+    """Bounded sample of per-request enqueue->resolve latencies.
+
+    Keeps at most ``capacity`` samples via Algorithm R (uniform
+    reservoir sampling) so a million-request run costs O(capacity)
+    memory while p50/p95/p99 stay statistically faithful. The
+    replacement PRNG is seeded, so percentile figures are reproducible
+    run to run — the same determinism contract as the rest of the
+    modeled metrics. Exact count/mean/max are tracked over *all*
+    samples, not just the retained ones.
+    """
+
+    def __init__(self, capacity: int = 2048, seed: int = 0x51A7) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, latency_ms: float) -> None:
+        self.count += 1
+        self.sum += latency_ms
+        if latency_ms > self.max:
+            self.max = latency_ms
+        if len(self._samples) < self.capacity:
+            self._samples.append(latency_ms)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = latency_ms
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) by nearest-rank over the sample."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean,
+            "p50_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+            "max_ms": self.max,
+        }
 
 
 @dataclass
@@ -133,11 +191,18 @@ class ServerStats:
         self.probes_sent = 0
         self.probes_ok = 0
         self.devices_evicted = 0
+        # Continuous-batching counters: enqueue->resolve latency samples
+        # and submissions refused by admission control (backpressure).
+        self.latency = LatencyReservoir()
+        self.requests_rejected = 0
         self.per_device: dict[str, DeviceStats] = {}
         #: live queue-depth gauge, installed by the server
         self._queue_depth_fn: Optional[Callable[[], dict[str, int]]] = None
         #: live breaker-state gauge, installed by the supervisor
         self._breaker_state_fn: Optional[Callable[[], dict[str, str]]] = None
+        #: live scheduler-timeline gauge (mode, virtual clock, per-device
+        #: pipeline completion/overlap), installed by the server
+        self._scheduler_fn: Optional[Callable[[], dict]] = None
 
     # -- recording ----------------------------------------------------------------
 
@@ -180,6 +245,21 @@ class ServerStats:
         dstats.jobs += result.jobs
         dstats.rounds += result.rounds
         dstats.faults += n_faults
+
+    def record_latency(self, latency_ms: float) -> None:
+        """One request's enqueue->resolve latency on the virtual clock.
+
+        Recorded by the scheduler when the ticket resolves: at its
+        batch's pipeline completion (async) or its round's barrier end
+        (lockstep). Replay tickets and close-time cancellations are
+        excluded — no tenant was waiting on them.
+        """
+        self.latency.record(latency_ms)
+
+    def record_rejected(self, n: int = 1) -> None:
+        """Submissions refused by admission control (per-tenant queue
+        cap): shed at the front door, never enqueued."""
+        self.requests_rejected += n
 
     def record_batch_fatal(self, device_id: str) -> None:
         """A whole batch transaction aborted on a device-fatal error."""
@@ -391,6 +471,12 @@ class ServerStats:
             return {}
         return self._queue_depth_fn()
 
+    def scheduler_state(self) -> dict:
+        """Live scheduler timeline (empty without an installed gauge)."""
+        if self._scheduler_fn is None:
+            return {}
+        return self._scheduler_fn()
+
     # -- reporting ----------------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -400,8 +486,11 @@ class ServerStats:
                 "enqueued": self.requests_enqueued,
                 "completed": self.requests_completed,
                 "cancelled": self.requests_cancelled,
+                "rejected": self.requests_rejected,
                 "errors": self.errors,
             },
+            "latency": self.latency.snapshot(),
+            "scheduler": self.scheduler_state(),
             "faults": {
                 "contained": self.faults_contained,
                 "batch_fatal": self.faults_batch_fatal,
@@ -491,7 +580,14 @@ class ServerStats:
         lines = [
             f"requests: {snap['requests']['completed']}/{snap['requests']['enqueued']}"
             f" completed, {snap['requests']['cancelled']} cancelled,"
+            f" {snap['requests']['rejected']} rejected,"
             f" {snap['requests']['errors']} errors",
+            f"latency:  p50 {snap['latency']['p50_ms']:.3f} / "
+            f"p95 {snap['latency']['p95_ms']:.3f} / "
+            f"p99 {snap['latency']['p99_ms']:.3f} ms "
+            f"(mean {snap['latency']['mean_ms']:.3f}, "
+            f"max {snap['latency']['max_ms']:.3f}, "
+            f"n={snap['latency']['count']})",
             f"faults:   {snap['faults']['contained']} contained, "
             f"{snap['faults']['batch_fatal']} batch-fatal "
             f"({snap['faults']['quarantine_retries']} quarantine retries, "
@@ -528,6 +624,16 @@ class ServerStats:
             f"{snap['failover']['probes_sent']} ok, "
             f"{snap['failover']['devices_evicted']} evicted",
         ]
+        sched = snap["scheduler"]
+        if sched:
+            overlap = sum(
+                d["overlap_ms"] for d in sched.get("devices", {}).values()
+            )
+            lines.append(
+                f"scheduler: {sched['mode']}, virtual clock "
+                f"{sched['makespan_ms']:.3f} ms, "
+                f"transfer overlap {overlap:.3f} ms"
+            )
         breaker_states = snap["failover"]["breaker_states"]
         for device_id, d in snap["devices"].items():
             line = (

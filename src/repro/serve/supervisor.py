@@ -194,6 +194,12 @@ class DeviceSupervisor:
         self.hang_detect_ms = hang_detect_ms
         self.breakers: dict[str, CircuitBreaker] = {}
         self.round_no = 0
+        #: Async-scheduler round counters: one per device, advanced at
+        #: each device-local safe point. Breaker windows/cooldowns are
+        #: *per device*, so under continuous batching each device's
+        #: breaker ages on its own clock instead of the (now absent)
+        #: global round number.
+        self.device_rounds: dict[str, int] = {}
         # Wire into the serving loop: the scheduler routes submissions
         # and loss handling through us, the stats surface gains the live
         # breaker-state gauge.
@@ -213,6 +219,14 @@ class DeviceSupervisor:
             )
             self.breakers[device_id] = brk
         return brk
+
+    def _round_for(self, device_id: str) -> int:
+        """The round clock breaker events on this device age against:
+        the global round number under lockstep drains, the device's own
+        safe-point counter under the async scheduler (whichever has
+        advanced further — a server can mix drain modes only via
+        reconstruction, but the max keeps the clock monotonic)."""
+        return max(self.round_no, self.device_rounds.get(device_id, 0))
 
     def breaker_states(self) -> dict[str, str]:
         """Live per-device breaker state (stats gauge)."""
@@ -321,7 +335,7 @@ class DeviceSupervisor:
             )
         brk = self.breaker(device_id)
         was_open = brk.state != BREAKER_CLOSED
-        state = brk.record_failure(self.round_no)
+        state = brk.record_failure(self._round_for(device_id))
         if state == BREAKER_OPEN:
             pdev.draining = True  # placement avoids it until a probe passes
             if not was_open and stats is not None:
@@ -493,10 +507,7 @@ class DeviceSupervisor:
         device_id: str,
         stats: Optional["ServerStats"],
     ) -> None:
-        ticket.error = exc
-        ticket.stats = CommandStats(output=f"error: {exc}")
-        if not ticket.replay:
-            ticket.session.history.append(ticket.stats)
+        ticket.resolve(CommandStats(output=f"error: {exc}"), exc)
         if stats is not None:
             stats.record_poisoned(device_id, 1)
 
@@ -584,6 +595,73 @@ class DeviceSupervisor:
                 if not pdev.draining and not pdev.device.lost:
                     dstats.rounds_up += 1
 
+    def at_safe_point(
+        self, pdev: "PooledDevice", stats: Optional["ServerStats"] = None
+    ) -> None:
+        """Device-local slice of :meth:`after_round` for the async
+        scheduler: runs right after ``pdev``'s own dispatch resolved, so
+        *this* device is quiescent while the rest of the fleet keeps
+        flowing. Everything the global barrier hook did for the whole
+        fleet happens here for one device — idle chaos, draining->trip,
+        breaker cooldown tick and half-open probe, interval checkpoints
+        for the sessions *resident on this device* (their heaps are idle
+        between their own batches; co-residents of other devices are
+        checkpointed at those devices' safe points), and uptime
+        accounting — against the device's own safe-point round counter
+        instead of the global round number.
+        """
+        device_id = pdev.device_id
+        pool = self.server.pool
+        if pool.devices.get(device_id) is not pdev:
+            return  # evicted earlier in this sweep
+        self.device_rounds[device_id] = (
+            self.device_rounds.get(device_id, 0) + 1
+        )
+        if self.chaos is not None and not pdev.device.lost:
+            if self.chaos.draw_idle(device_id):
+                pdev.device.mark_lost("chaos: idle kill at safe point")
+                exc = DeviceLostError(
+                    f"device {device_id} lost: chaos idle kill"
+                )
+                exc.work_ran = False
+                self.on_device_loss(pdev, [], exc, stats)
+        fresh_trip = False
+        if pdev.draining:
+            brk = self.breaker(device_id)
+            if brk.state == BREAKER_CLOSED:
+                brk.trip()
+                fresh_trip = True
+                if stats is not None:
+                    stats.record_breaker_open(device_id)
+        brk = self.breakers.get(device_id)
+        if (
+            brk is not None
+            and not fresh_trip
+            and pool.devices.get(device_id) is pdev
+        ):
+            brk.tick()
+            if brk.state == BREAKER_HALF_OPEN:
+                self._probe(pdev, brk, stats)
+        for session in list(self.server.sessions.values()):
+            if session.device_id != device_id:
+                continue
+            if not self.store.due(session.session_id):
+                continue
+            snap, shipped = self.store.checkpoint(session)
+            if stats is not None:
+                if shipped:
+                    stats.record_checkpoint(
+                        device_id, snap.nbytes, link_ms(pdev, snap.nbytes)
+                    )
+                else:
+                    stats.record_checkpoint_skipped()
+        if stats is not None:
+            dstats = stats.per_device.get(device_id)
+            if dstats is not None:
+                dstats.rounds_total += 1
+                if not pdev.draining and not pdev.device.lost:
+                    dstats.rounds_up += 1
+
     # -- probes --------------------------------------------------------------------
 
     def _probe(
@@ -614,18 +692,18 @@ class DeviceSupervisor:
                     if isinstance(exc, DeviceHangError)
                     else 0.0,
                 )
-            brk.record_failure(self.round_no)  # half-open failure = flap
+            brk.record_failure(self._round_for(device_id))  # flap
             self.server.pool.revive(device_id)
             if brk.flapping:
                 self._maybe_evict(pdev, stats)
             return
         except CuLiError:
-            brk.record_failure(self.round_no)
+            brk.record_failure(self._round_for(device_id))
             if brk.flapping:
                 self._maybe_evict(pdev, stats)
             return
         if not ok:
-            brk.record_failure(self.round_no)
+            brk.record_failure(self._round_for(device_id))
             if brk.flapping:
                 self._maybe_evict(pdev, stats)
             return

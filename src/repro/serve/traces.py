@@ -1,0 +1,159 @@
+"""Seeded multi-tenant arrival traces: bursty, heavy-tailed, mixed-class.
+
+The workload generator behind ``benchmarks/bench_continuous_batching.py``
+and the async-vs-lockstep property tests (and the first step toward the
+roadmap's 10k-session replay harness). A trace is a list of
+:class:`TraceRequest` — (arrival time, tenant, program text) — drawn
+from one seeded PRNG, so every consumer replays the *same* workload:
+
+* **bursty arrivals** — tenants submit in bursts (a think pause, then a
+  run of closely spaced commands), modeled as an on/off process with
+  exponential gaps; a global ``skew`` concentrates load on a hot
+  minority of tenants (the 4x-skew shape the rebalance and scheduler
+  benches stress).
+* **heavy-tailed service demand** — most commands are cheap scalar
+  forms; a Pareto-ish tail mixes in deep arithmetic/list work so batch
+  durations vary the way real symbolic workloads do.
+* **mixed classes** — ``interactive`` tenants (small bursts, tight SLO)
+  share the fleet with ``bulk`` tenants (long request streams, no SLO),
+  the coexistence ROADMAP item 3 demands of one scheduler.
+
+Every request text is a *pure* Lisp form over literals, so replaying a
+trace on any scheduler/gc/jit configuration yields byte-identical
+per-tenant transcripts — which is exactly what the differential
+property tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TraceRequest", "generate_trace", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a replayable arrival trace."""
+
+    arrival_ms: float   #: simulated arrival time
+    tenant: int         #: tenant index (0..tenants-1)
+    text: str           #: the Lisp command submitted
+    tenant_class: str   #: "interactive" or "bulk"
+    slo_ms: Optional[float]  #: the tenant's latency SLO (None = bulk)
+
+
+def _cheap_form(rng: random.Random) -> str:
+    """A small interactive-style command (the common case)."""
+    a, b = rng.randint(1, 99), rng.randint(1, 99)
+    return rng.choice(
+        [
+            f"(+ {a} {b})",
+            f"(* {a} {b})",
+            f"(- {a} {b})",
+            f"(if (< {a} {b}) {a} {b})",
+            f"(car (cons {a} {b}))",
+        ]
+    )
+
+
+def _heavy_form(rng: random.Random, depth: int) -> str:
+    """A heavy-tailed command: nested arithmetic of ``depth`` levels.
+
+    Depth scales service demand roughly linearly (every level is one
+    more eval node), giving the batch-duration spread that makes
+    lockstep's wait-for-the-slowest barrier expensive.
+    """
+    expr = str(rng.randint(1, 9))
+    for _ in range(depth):
+        expr = f"({rng.choice(['+', '*'])} {rng.randint(1, 9)} {expr})"
+    return expr
+
+
+def generate_trace(
+    seed: int = 0,
+    tenants: int = 16,
+    requests: int = 256,
+    duration_ms: float = 50.0,
+    skew: float = 4.0,
+    burst_len: int = 4,
+    heavy_tail: float = 0.15,
+    interactive_share: float = 0.5,
+    interactive_slo_ms: float = 5.0,
+) -> list[TraceRequest]:
+    """Generate a seeded arrival trace (sorted by arrival time).
+
+    ``skew`` is the hot/cold load ratio: the first quarter of tenants
+    receive ``skew``x the per-tenant request rate of the rest (4.0
+    reproduces the 4x-skewed shape of the rebalance bench).
+    ``heavy_tail`` is the probability a request draws a heavy nested
+    form instead of a cheap one. The first ``interactive_share`` of
+    tenants are interactive (tight ``interactive_slo_ms`` deadline,
+    short bursts); the rest are bulk (no SLO, longer bursts). Arrivals
+    are bursty: each tenant alternates exponential think pauses with
+    ``burst_len``-sized runs of back-to-back submissions.
+    """
+    if tenants < 1 or requests < 1:
+        raise ValueError("tenants and requests must be >= 1")
+    rng = random.Random(seed)
+    n_interactive = max(0, min(tenants, round(tenants * interactive_share)))
+    n_hot = max(1, tenants // 4)
+    weights = [skew if t < n_hot else 1.0 for t in range(tenants)]
+    total_w = sum(weights)
+    out: list[TraceRequest] = []
+    for tenant in range(tenants):
+        interactive = tenant < n_interactive
+        share = round(requests * weights[tenant] / total_w)
+        n = max(1, share)
+        # Bursty on/off arrivals: mean gap sized so the tenant's bursts
+        # spread over the trace duration.
+        tenant_burst = burst_len if not interactive else max(1, burst_len // 2)
+        bursts = max(1, n // tenant_burst)
+        mean_gap = duration_ms / bursts
+        t = rng.uniform(0.0, mean_gap)
+        emitted = 0
+        while emitted < n:
+            for _ in range(min(tenant_burst, n - emitted)):
+                heavy = rng.random() < heavy_tail and not interactive
+                text = (
+                    _heavy_form(rng, depth=rng.randint(8, 24))
+                    if heavy
+                    else _cheap_form(rng)
+                )
+                out.append(
+                    TraceRequest(
+                        arrival_ms=round(t, 4),
+                        tenant=tenant,
+                        text=text,
+                        tenant_class="interactive" if interactive else "bulk",
+                        slo_ms=interactive_slo_ms if interactive else None,
+                    )
+                )
+                t += rng.uniform(0.0, 0.05)  # intra-burst spacing
+                emitted += 1
+            t += rng.expovariate(1.0 / mean_gap)  # think pause
+    out.sort(key=lambda r: (r.arrival_ms, r.tenant))
+    return out
+
+
+def replay_trace(server, trace: list[TraceRequest], prefix: str = "trace"):
+    """Open one session per tenant and submit the whole trace in arrival
+    order; returns ``(sessions, tickets)``. The caller flushes.
+
+    Sessions are opened with each tenant's class SLO, so deadline-aware
+    ordering engages on async servers and is inert (ignored) on
+    lockstep ones — same inputs either way, which is what makes the
+    differential transcripts comparable.
+    """
+    sessions: dict[int, object] = {}
+    for req in trace:
+        if req.tenant not in sessions:
+            sessions[req.tenant] = server.open_session(
+                name=f"{prefix}-{req.tenant}", slo_ms=req.slo_ms
+            )
+    tickets = [
+        sessions[req.tenant].submit(req.text, arrival_ms=req.arrival_ms)
+        for req in trace
+    ]
+    return sessions, tickets

@@ -1,0 +1,176 @@
+"""Property: the async scheduler is byte-identical to lockstep.
+
+The lockstep drain is the serving layer's oracle — the discipline every
+prior PR's differential suite pinned. Continuous batching is allowed to
+reorder work *across* sessions (that is where its makespan and tail
+latency wins come from) but never to change what any tenant observes:
+per-session FIFO is inviolable, every heap mutation happens on the same
+placed environment, and a containable fault stays contained to its own
+ticket. So for any workload, any gc policy, seeded chaos, and
+rebalancing, the per-tenant transcripts of an async server must equal a
+lockstep server's, byte for byte.
+
+These tests drive both disciplines over identical inputs — scripted
+multi-tenant workloads and seeded arrival traces with mixed SLO classes
+— and compare full transcripts. Accounting invariants ride along:
+``enqueued == completed + cancelled`` and zero pending after a drain,
+whichever scheduler ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ChaosMonkey, CuLiServer, generate_trace, replay_trace
+
+DEVICES = ["gtx1080", "gtx1080", "tesla-m40"]
+TENANTS = 12
+ROUNDS = 5
+
+GC_POLICIES = ["generational", "full", "literal"]
+
+
+def tenant_script(i: int) -> list[str]:
+    """A deterministic, stateful, non-idempotent per-tenant script: any
+    dropped, duplicated, or cross-contaminated command changes bytes."""
+    return (
+        [f"(defun step-{i} (x) (+ x {i + 1}))", f"(setq acc {i * 100})"]
+        + [f"(setq acc (step-{i} acc))" for _ in range(ROUNDS)]
+        + [
+            f"(setq pair (cons acc {i}))",
+            "(car pair)",
+            f"(if (< acc {i * 100}) 'shrunk 'grew)",
+        ]
+    )
+
+
+def run_scripted(mode: str, **server_kwargs) -> tuple[list[list[str]], dict]:
+    """All tenants' scripts interleaved through one server in ``mode``;
+    returns (per-tenant transcripts, accounting snapshot)."""
+    server_kwargs.setdefault("devices", list(DEVICES))
+    with CuLiServer(scheduler=mode, **server_kwargs) as server:
+        sessions = [server.open_session(f"t{i}") for i in range(TENANTS)]
+        scripts = [tenant_script(i) for i in range(TENANTS)]
+        tickets: list[list] = [[] for _ in range(TENANTS)]
+        # Interleave: one command per tenant per wave, flushing every
+        # other wave so batching windows vary.
+        for step in range(max(len(s) for s in scripts)):
+            for i, session in enumerate(sessions):
+                if step < len(scripts[i]):
+                    tickets[i].append(session.submit(scripts[i][step]))
+            if step % 2 == 1:
+                server.flush()
+        server.flush()
+        st = server.stats
+        accounting = {
+            "pending": server.pending,
+            "enqueued": st.requests_enqueued,
+            "completed": st.requests_completed,
+            "cancelled": st.requests_cancelled,
+        }
+        return [[t.output for t in row] for row in tickets], accounting
+
+
+def assert_balanced(accounting: dict) -> None:
+    assert accounting["pending"] == 0
+    assert accounting["enqueued"] == (
+        accounting["completed"] + accounting["cancelled"]
+    )
+
+
+@pytest.mark.parametrize("gc_policy", GC_POLICIES)
+def test_async_matches_lockstep_across_gc_policies(gc_policy):
+    lock, lock_acct = run_scripted("lockstep", gc_policy=gc_policy)
+    asy, asy_acct = run_scripted("async", gc_policy=gc_policy)
+    assert asy == lock
+    assert_balanced(lock_acct)
+    assert_balanced(asy_acct)
+
+
+@pytest.mark.parametrize("jit", [False, True])
+def test_async_matches_lockstep_with_and_without_jit(jit):
+    lock, _ = run_scripted("lockstep", jit=jit)
+    asy, _ = run_scripted("async", jit=jit)
+    assert asy == lock
+
+
+def test_async_matches_lockstep_under_rebalancing():
+    """Migrations at async safe points move the same idle heaps the
+    lockstep barrier moved: transcripts cannot tell the difference."""
+    lock, _ = run_scripted("lockstep", rebalance=True, max_batch=8)
+    asy, asy_acct = run_scripted("async", rebalance=True, max_batch=8)
+    assert asy == lock
+    assert_balanced(asy_acct)
+
+
+@pytest.mark.parametrize("seed", [7, 401])
+def test_async_matches_lockstep_under_seeded_chaos(seed):
+    """Device kills and hangs land at different drains under the two
+    disciplines (the chaos PRNG is consumed per safe point), yet
+    exactly-once failover keeps every transcript equal to the quiet
+    lockstep truth — the strongest form of the oracle property."""
+    quiet, _ = run_scripted("lockstep")
+    kwargs = dict(
+        checkpoint_interval=3,
+        failover_config={"breaker_failures": 3, "cooldown_rounds": 1},
+    )
+    for mode in ("lockstep", "async"):
+        monkey = ChaosMonkey(seed=seed, kill_rate=0.08, hang_rate=0.05)
+        disturbed, acct = run_scripted(mode, chaos=monkey, **kwargs)
+        assert monkey.events > 0, f"seed {seed} injected no chaos ({mode})"
+        assert disturbed == quiet, f"{mode} transcripts diverged under chaos"
+        assert_balanced(acct)
+
+
+@pytest.mark.parametrize("trace_seed", [1, 2018])
+def test_trace_replay_transcripts_are_schedule_invariant(trace_seed):
+    """A bursty mixed-class trace (interactive SLO tenants + bulk) gives
+    EDF real reordering freedom; per-tenant outputs still match."""
+    trace = generate_trace(
+        seed=trace_seed, tenants=TENANTS, requests=120, duration_ms=3.0
+    )
+
+    def replay(mode: str) -> dict[int, list[str]]:
+        with CuLiServer(
+            devices=list(DEVICES), max_batch=8, scheduler=mode
+        ) as server:
+            sessions, tickets = replay_trace(server, trace)
+            server.flush()
+            assert all(t.done for t in tickets)
+            assert server.pending == 0
+            return {
+                tenant: [s.output for s in session.history]
+                for tenant, session in sessions.items()
+            }
+
+    assert replay("async") == replay("lockstep")
+
+
+def test_fault_containment_is_schedule_invariant():
+    """A tenant that exhausts its arena faults only itself under either
+    discipline; co-tenant transcripts stay byte-identical."""
+
+    def run(mode: str) -> tuple[list[str], list[list[str]]]:
+        with CuLiServer(
+            devices=["gtx1080"] * 2, scheduler=mode, max_batch=8
+        ) as server:
+            hog = server.open_session("hog")
+            others = [server.open_session(f"ok{i}") for i in range(4)]
+            hog_tickets = [
+                hog.submit("(defun spin (n) (if (< n 1) 0 (cons n (spin (- n 1)))))")
+            ]
+            other_tickets: list[list] = [[] for _ in others]
+            for r in range(4):
+                hog_tickets.append(hog.submit("(spin 100000)"))
+                for i, s in enumerate(others):
+                    other_tickets[i].append(s.submit(f"(+ {r} (* {i} {i}))"))
+            server.flush()
+            return (
+                ["error" if t.error is not None else t.output for t in hog_tickets],
+                [[t.output for t in row] for row in other_tickets],
+            )
+
+    lock_hog, lock_others = run("lockstep")
+    asy_hog, asy_others = run("async")
+    assert asy_others == lock_others
+    assert asy_hog == lock_hog
