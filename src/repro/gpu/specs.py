@@ -7,6 +7,34 @@ per-command handshake overhead are calibrated to the paper's Fig. 14:
 newer GPUs pay more for CUDA context creation (more VRAM to map, heavier
 runtime), the GTX 680 starts ~6x faster than the GTX 1080 / Tesla M40,
 and CPUs start >30x faster than any GPU.
+
+Capability calibration (serving layer): every registry spec — the
+paper's six cards, the Tesla V100, and the CPU backends — additionally
+carries an empirical **capability** figure used by heterogeneous-fleet
+placement: the modeled ms one request of a fixed probe batch costs on
+that device, measured by :func:`repro.serve.capability.capability_probe_ms`
+against the simulator itself (so it reflects per-arch op costs, service
+-round parallelism, command overhead, and transfer — not a spec-sheet
+guess). The calibrated figures, with scores relative to the GTX 1080:
+
+===============  ================  ==================
+spec             probe ms/request  score (gtx1080=1x)
+===============  ================  ==================
+gtx480           0.00677           2.87x
+gtx680           0.01517           1.28x
+gtx1080          0.01940           1.00x
+tesla-m40        0.04077           0.48x
+tesla-v100       0.01155           1.68x
+intel-e5-2620    0.00022           88.2x
+amd-6272         0.00028           69.4x
+===============  ================  ==================
+
+(tesla-c2075 and tesla-k20 probe like their arch siblings gtx480 and
+gtx680 scaled by clocks.) The CPUs dominating on a *single* interactive
+command is the paper's own CPU-vs-GPU result — one REPL command has
+little parallelism for a GPU to exploit — and is exactly the asymmetry
+capability-aware placement uses: latency-style traffic leans on CPU
+devices, while wide batch sweeps still belong to the GPUs.
 """
 
 from __future__ import annotations
@@ -24,7 +52,9 @@ __all__ = [
     "GTX480",
     "GTX680",
     "GTX1080",
+    "TESLA_V100",
     "ALL_GPUS",
+    "FUTURE_GPUS",
     "GPU_BY_NAME",
 ]
 
@@ -166,8 +196,12 @@ ALL_GPUS: tuple[GPUSpec, ...] = (
 )
 
 # ---------------------------------------------------------------------------
-# Future-work projection (paper Conclusion): one Volta-generation device.
-# Not part of the paper's evaluation — used by the F1 trend experiment.
+# The Volta generation (paper Conclusion: "CuLi profits from new hardware
+# generations"). A first-class registry member — available to the serving
+# fleet and every device API — but deliberately *not* in ALL_GPUS: that
+# tuple is the paper's published evaluation sweep (Figs. 13-16), which
+# the V100 was never part of. The F1 trend experiment and the
+# heterogeneous-fleet serving benches are its consumers.
 # ---------------------------------------------------------------------------
 
 TESLA_V100 = GPUSpec(
@@ -179,6 +213,9 @@ TESLA_V100 = GPUSpec(
     independent_thread_scheduling=True,
 )
 
+#: Registry members beyond the paper's evaluation sweep. (The name is
+#: historical — the V100 is a first-class device now; it just post-dates
+#: the paper's figures, so ALL_GPUS must not grow it.)
 FUTURE_GPUS: tuple[GPUSpec, ...] = (TESLA_V100,)
 
 GPU_BY_NAME: dict[str, GPUSpec] = {

@@ -62,8 +62,9 @@ def resolve_spec(name: str) -> Spec:
 
 
 def available_devices() -> list[Spec]:
-    """All specs, GPUs first (the paper's Fig. 14/15 ordering)."""
-    return [*ALL_GPUS, *ALL_CPUS]
+    """Every registry spec, GPUs first (the paper's Fig. 14/15 ordering,
+    then the Volta generation, then the CPU backends)."""
+    return [*ALL_GPUS, *FUTURE_GPUS, *ALL_CPUS]
 
 
 def device_for(

@@ -17,9 +17,15 @@ comparison.
 """
 
 from ..errors import AdmissionError
+from .capability import (
+    PROBE_FORMS,
+    capability_probe_ms,
+    capability_score,
+    restore_ms_per_byte,
+)
 from .chaos import ChaosMonkey
 from .checkpoint import CheckpointStore
-from .pool import DevicePool, PooledDevice, link_ms
+from .pool import PLACEMENT_MODES, DevicePool, PooledDevice, link_ms
 from .scheduler import SCHEDULER_MODES, Rebalancer, Scheduler
 from .server import CuLiServer
 from .session import TenantSession, Ticket
@@ -42,6 +48,11 @@ __all__ = [
     "PipelineSlot",
     "LatencyReservoir",
     "SCHEDULER_MODES",
+    "PLACEMENT_MODES",
+    "PROBE_FORMS",
+    "capability_probe_ms",
+    "capability_score",
+    "restore_ms_per_byte",
     "TraceRequest",
     "generate_trace",
     "replay_trace",

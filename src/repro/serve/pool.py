@@ -10,25 +10,47 @@ hitting repeated faults can be marked ``draining`` so placement avoids
 it while its sessions move off. This is the PyCUDA-style host
 orchestration layer: Python owns device lifetime, placement, and work
 routing; the simulated devices own execution.
+
+Heterogeneous fleets: devices in one pool need not be equal (a Volta
+card can shard with a Fermi card and a Xeon), so load is accounted in
+**modeled time**, not counts. Every :class:`PooledDevice` carries a
+calibrated capability figure (:mod:`repro.serve.capability` — modeled
+ms per probe request) and exposes :attr:`~PooledDevice.backlog_ms`, the
+expected drain time of everything standing against the device: resident
+sessions' service demand, queued work, and the wire-weight of its
+retained heap. ``place_session`` picks the lowest backlog (capability
+breaks ties, so an empty fleet fills fastest-first); the legacy
+count-based key remains available as the ``placement="count"`` ablation
+(env ``REPRO_SERVE_PLACEMENT=count`` forces it fleet-wide).
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import TYPE_CHECKING, Collection, Optional, Sequence, Union
 
+from ..core.nodes import NODE_BYTES
 from ..cpu.device import CPUDevice, CPUDeviceConfig
 from ..cpu.specs import CPUSpec
 from ..gpu.device import GPUDevice, GPUDeviceConfig
 from ..gpu.specs import GPUSpec
 from ..runtime.devices import device_for
+from .capability import capability_probe_ms, capability_score, restore_ms_per_byte
 
 if TYPE_CHECKING:  # pragma: no cover
     from .session import Ticket, TenantSession
 
-__all__ = ["DevicePool", "PooledDevice", "link_ms"]
+__all__ = ["DevicePool", "PooledDevice", "PLACEMENT_MODES", "link_ms"]
 
 DeviceSpec = Union[str, GPUSpec, CPUSpec]
+DeviceConfig = Union[GPUDeviceConfig, CPUDeviceConfig]
+
+#: Valid ``DevicePool(placement=)`` / ``CuLiServer(placement=)`` values:
+#: ``"cost"`` is the capability-normalized backlog model (default),
+#: ``"count"`` the original session/queue-count key (the ablation the
+#: hetero-fleet bench diffs against).
+PLACEMENT_MODES = ("cost", "count")
 
 
 def link_ms(pdev: "PooledDevice", nbytes: int) -> float:
@@ -46,9 +68,25 @@ def link_ms(pdev: "PooledDevice", nbytes: int) -> float:
 class PooledDevice:
     """One device plus its queue and session bookkeeping."""
 
-    __slots__ = ("device_id", "device", "queue", "session_count", "draining")
+    __slots__ = (
+        "device_id",
+        "device",
+        "queue",
+        "session_count",
+        "draining",
+        "probe_ms",
+        "capability",
+        "config",
+        "_restore_ms_per_byte",
+        "_baseline_retained",
+    )
 
-    def __init__(self, device_id: str, device: Union[GPUDevice, CPUDevice]) -> None:
+    def __init__(
+        self,
+        device_id: str,
+        device: Union[GPUDevice, CPUDevice],
+        config: Optional[DeviceConfig] = None,
+    ) -> None:
         self.device_id = device_id
         self.device = device
         self.queue: deque["Ticket"] = deque()
@@ -57,6 +95,20 @@ class PooledDevice:
         #: (repeated faults): placement avoids draining devices and the
         #: rebalancer migrates their sessions off.
         self.draining = False
+        #: Calibrated capability: modeled ms one probe request costs
+        #: here (cached per spec — see repro.serve.capability), and the
+        #: same figure as a GTX 1080-relative score for reporting.
+        self.probe_ms = capability_probe_ms(device.spec)
+        self.capability = capability_score(device.spec)
+        #: Per-slot config override (heterogeneous pools, e.g. a bigger
+        #: arena on the device that absorbs the most sessions); revive()
+        #: rebuilds from it so a failover preserves the slot's shape.
+        self.config = config
+        self._restore_ms_per_byte = restore_ms_per_byte(device.spec)
+        # The global environment's tenured nodes exist on every fresh
+        # device and differ between kinds/options — only what sessions
+        # added on top is placement-relevant retained state.
+        self._baseline_retained = device.interp.arena.tenured_count
 
     @property
     def name(self) -> str:
@@ -77,13 +129,62 @@ class PooledDevice:
         return self.device.interp.arena.tenured_count
 
     @property
+    def session_retained_nodes(self) -> int:
+        """Retained nodes *sessions* pinned here, excluding the global
+        environment every fresh device starts with."""
+        return max(0, self.retained_nodes - self._baseline_retained)
+
+    @property
     def load(self) -> tuple[int, int, int]:
-        """Placement key: sessions first, then retained heap, then
-        queued work. The retained-heap term matters for restores: a
-        migrated or server-restored session arrives *with* its tenured
-        subgraph, so ties between equally-subscribed devices must break
-        toward the emptiest arena, not an arbitrary one."""
+        """The count-mode placement key: sessions first, then retained
+        heap, then queued work (the pre-capability policy, kept as the
+        ``placement="count"`` ablation). The retained-heap term matters
+        for restores: a migrated or server-restored session arrives
+        *with* its tenured subgraph, so ties between equally-subscribed
+        devices must break toward the emptiest arena."""
         return (self.session_count, self.retained_nodes, len(self.queue))
+
+    # -- modeled-time load accounting ---------------------------------------------
+
+    @property
+    def queue_backlog_ms(self) -> float:
+        """Expected drain time of the standing queue on this device."""
+        return self.queue_depth * self.probe_ms
+
+    @property
+    def resident_demand_ms(self) -> float:
+        """Expected per-round service demand of the resident sessions
+        (each session's next command costs ~one probe request here)."""
+        return self.session_count * self.probe_ms
+
+    def restore_cost_ms(self, nbytes: int) -> float:
+        """Bandwidth-weight of landing ``nbytes`` of heap on this device
+        (free on CPUs — shared memory, like ``link_ms``)."""
+        return nbytes * self._restore_ms_per_byte
+
+    @property
+    def backlog_ms(self) -> float:
+        """Everything standing against this device, in modeled ms:
+        resident sessions' service demand + queued work + the wire
+        weight of the session heap already retained here."""
+        return (
+            self.resident_demand_ms
+            + self.queue_backlog_ms
+            + self.restore_cost_ms(self.session_retained_nodes * NODE_BYTES)
+        )
+
+    def placement_key(self, incoming_nbytes: int = 0) -> tuple:
+        """The cost-mode placement key: normalized backlog (plus the
+        incoming restore's wire weight, when the session arrives with a
+        snapshot), capability as the empty-fleet tie-break (fastest
+        first), then the count key for full determinism."""
+        return (
+            self.backlog_ms + self.restore_cost_ms(incoming_nbytes),
+            self.probe_ms,
+            self.session_count,
+            self.retained_nodes,
+            self.queue_depth,
+        )
 
 
 class DevicePool:
@@ -91,7 +192,9 @@ class DevicePool:
 
     ``devices`` accepts registry names or spec objects; duplicates are
     fine (e.g. four gtx1080 shards) — each gets a unique ``device_id``
-    of the form ``name#k``.
+    of the form ``name#k``. ``device_configs`` (aligned with
+    ``devices``) overrides the shared ``gpu_config``/``cpu_config`` per
+    slot — a heterogeneous fleet rarely wants one arena size everywhere.
     """
 
     def __init__(
@@ -99,20 +202,68 @@ class DevicePool:
         devices: Sequence[DeviceSpec] = ("gtx1080",),
         gpu_config: Optional[GPUDeviceConfig] = None,
         cpu_config: Optional[CPUDeviceConfig] = None,
+        device_configs: Optional[Sequence[Optional[DeviceConfig]]] = None,
+        placement: Optional[str] = None,
     ) -> None:
         if not devices:
             raise ValueError("a device pool needs at least one device")
-        # Configs are kept so a lost device can be force-reset to an
-        # identical fresh one (revive): same spec, same interpreter
-        # options, empty arena.
+        if device_configs is not None and len(device_configs) != len(devices):
+            raise ValueError(
+                f"device_configs must align with devices: got "
+                f"{len(device_configs)} configs for {len(devices)} devices"
+            )
+        if placement is None:
+            # Same ship-the-fast-mode stance as REPRO_SERVE_JIT/ASYNC:
+            # cost-aware placement is the default, the environment can
+            # force the count-based ablation fleet-wide (CI tier matrix),
+            # an explicit argument always wins.
+            placement = os.environ.get("REPRO_SERVE_PLACEMENT", "cost")
+        if placement not in PLACEMENT_MODES:
+            raise ValueError(
+                f"unknown placement mode {placement!r}: expected one of "
+                f"{PLACEMENT_MODES}"
+            )
+        self.placement = placement
+        # Shared configs are kept so a lost device can be force-reset to
+        # an identical fresh one (revive): same spec, same interpreter
+        # options, empty arena. Per-slot overrides live on the
+        # PooledDevice itself.
         self._gpu_config = gpu_config
         self._cpu_config = cpu_config
         self.devices: dict[str, PooledDevice] = {}
         for k, spec in enumerate(devices):
-            device = device_for(spec, gpu_config=gpu_config, cpu_config=cpu_config)
+            override = device_configs[k] if device_configs else None
+            device = self._build_device(spec, override)
             device_id = f"{device.name}#{k}"
-            self.devices[device_id] = PooledDevice(device_id, device)
+            self.devices[device_id] = PooledDevice(device_id, device, override)
         self._closed = False
+
+    def _build_device(
+        self, spec: DeviceSpec, override: Optional[DeviceConfig]
+    ) -> Union[GPUDevice, CPUDevice]:
+        gpu_config = self._gpu_config
+        cpu_config = self._cpu_config
+        if override is not None:
+            if isinstance(override, GPUDeviceConfig):
+                gpu_config = override
+            elif isinstance(override, CPUDeviceConfig):
+                cpu_config = override
+            else:
+                raise TypeError(
+                    f"device config for {spec!r} must be a GPUDeviceConfig "
+                    f"or CPUDeviceConfig, not {type(override).__name__}"
+                )
+        device = device_for(spec, gpu_config=gpu_config, cpu_config=cpu_config)
+        if override is not None and (
+            (device.kind == "gpu") != isinstance(override, GPUDeviceConfig)
+        ):
+            device.close()
+            raise TypeError(
+                f"device config kind mismatch for {device.name}: a "
+                f"{device.kind} device cannot take a "
+                f"{type(override).__name__}"
+            )
+        return device
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -122,9 +273,18 @@ class DevicePool:
 
     # -- placement ---------------------------------------------------------------
 
-    def place_session(self, exclude: Collection[str] = ()) -> PooledDevice:
-        """Least-loaded placement: fewest sessions, then the smallest
-        retained heap, then the shortest queue.
+    def place_session(
+        self, exclude: Collection[str] = (), incoming_nbytes: int = 0
+    ) -> PooledDevice:
+        """Pick the device with the lowest modeled backlog.
+
+        Cost mode (default) minimizes :meth:`PooledDevice.placement_key`
+        — expected backlog-ms plus the wire weight of the arriving
+        session's snapshot (``incoming_nbytes``: restores and failovers
+        land with their heap, which a PCIe device pays for and a CPU
+        does not), capability breaking empty-fleet ties fastest-first.
+        Count mode keeps the original key: fewest sessions, then the
+        smallest retained heap, then the shortest queue.
 
         ``exclude`` removes candidates (a migration's source device, and
         draining devices are always skipped); if exclusions would leave
@@ -140,7 +300,12 @@ class DevicePool:
             candidates = [
                 d for d in self.devices.values() if d.device_id not in exclude
             ] or list(self.devices.values())
-        pdev = min(candidates, key=lambda d: d.load)
+        if self.placement == "count":
+            pdev = min(candidates, key=lambda d: d.load)
+        else:
+            pdev = min(
+                candidates, key=lambda d: d.placement_key(incoming_nbytes)
+            )
         pdev.session_count += 1
         return pdev
 
@@ -167,17 +332,18 @@ class DevicePool:
 
         The crash destroyed everything resident in the old device's
         arena, so the replacement is built from the same spec and config
-        with an empty arena. The :class:`PooledDevice` wrapper (queue,
-        draining flag) is kept — the supervisor owns moving its work and
-        sessions elsewhere — but the session count resets to zero: the
-        victims are re-placed through ``place_session`` during recovery.
+        (the slot's own override when one was given, else the shared
+        kind config) with an empty arena. The :class:`PooledDevice`
+        wrapper (queue, draining flag, capability) is kept — the
+        supervisor owns moving its work and sessions elsewhere — but the
+        session count resets to zero: the victims are re-placed through
+        ``place_session`` during recovery.
         """
         pdev = self.devices[device_id]
         old = pdev.device
-        pdev.device = device_for(
-            old.spec, gpu_config=self._gpu_config, cpu_config=self._cpu_config
-        )
+        pdev.device = self._build_device(old.spec, pdev.config)
         pdev.session_count = 0
+        pdev._baseline_retained = pdev.device.interp.arena.tenured_count
         old.close()
         return pdev
 

@@ -54,10 +54,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..core.nodes import NODE_BYTES
 from ..errors import CuLiError, DeviceLostError
 from ..gpu.hostlink import sanitize_input
 from ..runtime.batch import BatchRequest, BatchResult
 from ..timing import CommandStats
+from .pool import link_ms
 from .timeline import DevicePipeline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -144,6 +146,8 @@ class Scheduler:
                     "completed_ms": round(p.completed_ms, 3),
                     "serial_ms": round(p.serial_ms, 3),
                     "overlap_ms": round(p.overlap_ms, 3),
+                    "engine_busy_ms": round(p.engine_busy_ms, 3),
+                    "utilization": round(p.utilization, 4),
                     "batches": p.batches,
                 }
                 for did, p in sorted(self.pipelines.items())
@@ -583,25 +587,40 @@ class Rebalancer:
       by device as it migrates (the policy cannot know which tenant is
       at fault), but the last healthy device is never drained — the
       pool always serves.
-    * **Overload shedding** — when the deepest queue exceeds
-      ``imbalance_ratio`` x the shallowest (and by at least two
-      tickets), up to ``max_moves_per_round`` sessions move from the
-      hottest device to the coldest. The candidate whose queued-ticket
-      count best fills half the gap is chosen, so one move does the most
-      levelling possible without overshooting.
-    * **Session leveling** — when resident session counts differ by two
-      or more between the fullest and emptiest usable device, sessions
-      migrate toward the emptiest (sharing the same per-round move
-      budget). Queue shedding cannot see this skew when queues drain
-      within a pass — the state a device-loss failover leaves behind,
-      with every victim on the survivors and the revived device empty.
+    * **Overload shedding** — when the hottest device's queue backlog
+      exceeds ``imbalance_ratio`` x the coldest's (and by a meaningful
+      margin), up to ``max_moves_per_round`` sessions move from hot to
+      cold. The candidate whose queued-ticket count best fills half the
+      gap is chosen, so one move does the most levelling possible
+      without overshooting.
+    * **Session leveling** — when resident session *demand* differs
+      materially between the fullest and emptiest usable device,
+      sessions migrate toward the emptiest (sharing the same per-round
+      move budget). Queue shedding cannot see this skew when queues
+      drain within a pass — the state a device-loss failover leaves
+      behind, with every victim on the survivors and the revived device
+      empty.
+
+    Both policies follow the pool's placement mode. Under ``"cost"``
+    (the default) backlogs and gaps are compared in **modeled
+    milliseconds** — queue depths and session counts weighted by each
+    device's calibrated per-request cost (``PooledDevice.probe_ms``) —
+    which on a homogeneous fleet reduces exactly to the original count
+    gates, and on a mixed fleet stops the policy from "levelling" five
+    queued requests on a Xeon against five on a Fermi card as if they
+    weighed the same. Cost mode also runs a migration **cost/benefit
+    veto**: the expected win (hot minus cold backlog after the move)
+    must exceed the snapshot's wire cost over both ``link_ms`` legs —
+    a session is never moved somewhere that makes it slower. Under
+    ``"count"`` the original count-based gates run verbatim (the
+    ablation ``benchmarks/bench_hetero_fleet.py`` diffs against).
 
     Moving a session is never free: each migration's snapshot bytes are
     charged as modeled host<->device transfer time on both links
     (``ServerStats.record_migration``), which is what
     ``benchmarks/bench_rebalance.py`` holds the policy accountable
     against. On an already-balanced pool no move triggers and the only
-    cost is the host-side queue-depth comparison.
+    cost is the host-side backlog comparison.
     """
 
     def __init__(
@@ -702,6 +721,12 @@ class Rebalancer:
     # -- overload shedding ---------------------------------------------------------
 
     def _shed_overload(self) -> list["MigrationRecord"]:
+        if self.server.pool.placement == "count":
+            return self._shed_overload_count()
+        return self._shed_overload_cost()
+
+    def _shed_overload_count(self) -> list["MigrationRecord"]:
+        """The original count-based shedding (``placement="count"``)."""
         pool = self.server.pool
         moves: list["MigrationRecord"] = []
         for _ in range(self.max_moves_per_round):
@@ -721,18 +746,112 @@ class Rebalancer:
             moves.append(self.server.migrate_session(session, cold.device_id))
         return moves
 
+    def _shed_overload_cost(self) -> list["MigrationRecord"]:
+        """Backlog shedding in modeled ms, with a cost/benefit veto.
+
+        The gates are the count gates with every ticket weighted by its
+        device's per-request cost: the gap must be worth at least two
+        hot-device requests, and the hot backlog must exceed
+        ``imbalance_ratio`` x the cold backlog plus one cold request
+        (the count gate's ``+1`` slack, in cold ms). On a homogeneous
+        pool both reduce exactly to the originals. The transfer target
+        fills half the gap measured in drain time — moving a ticket off
+        the hot device saves ``e_hot`` there and costs ``e_cold`` on the
+        cold one, so half the gap is ``gap_ms / (e_hot + e_cold)``
+        tickets.
+
+        The veto then prices the chosen move twice, and the move must
+        win both ways:
+
+        * **queue relief** — the cold device's queued backlog after
+          absorbing the session's tickets, plus the snapshot wire cost
+          on both links, must undercut the hot queue backlog (the
+          original check; in lockstep mode it is the whole truth,
+          because the round barrier resolves every dispatched batch
+          before a rebalance point).
+        * **drain horizon** — the same comparison with each side's
+          *committed pipeline completion* added in. Queue depths alone
+          lie in async mode: a device that just dispatched everything
+          it held looks idle while its pipeline is committed
+          milliseconds into the future, and pricing moves against the
+          empty queue sheds the fleet's entire backlog onto one
+          receiver a batch at a time.
+
+        Failing either check means the "relief" arrives later than just
+        draining in place, and the round stops.
+        """
+        pool = self.server.pool
+        moves: list["MigrationRecord"] = []
+        for _ in range(self.max_moves_per_round):
+            usable = [d for d in pool.devices.values() if not d.draining]
+            if len(usable) < 2:
+                break
+            hot = max(usable, key=lambda d: d.queue_backlog_ms)
+            cold = min(usable, key=lambda d: d.queue_backlog_ms)
+            e_hot, e_cold = hot.probe_ms, cold.probe_ms
+            hot_q_ms = hot.queue_backlog_ms
+            cold_q_ms = cold.queue_backlog_ms
+            gap_ms = hot_q_ms - cold_q_ms
+            if gap_ms < 2 * e_hot or hot_q_ms < self.imbalance_ratio * (
+                cold_q_ms + e_cold
+            ):
+                break
+            target = max(1, int(gap_ms / (e_hot + e_cold)))
+            session = self._pick_session(hot, target_tickets=target)
+            if session is None:
+                break
+            moved_q = sum(
+                1 for t in hot.queue if t.session is session
+            )
+            # Wire estimate: the hot device's session-retained heap,
+            # apportioned per resident session (the snapshot's real size
+            # is only known after serialization — this prices the
+            # decision, record_migration charges the actual bytes).
+            est_bytes = int(
+                NODE_BYTES
+                * hot.session_retained_nodes
+                / max(1, hot.session_count)
+            )
+            wire_ms = link_ms(hot, est_bytes) + link_ms(cold, est_bytes)
+            relief_ms = moved_q * e_cold + wire_ms
+            if cold_q_ms + relief_ms >= hot_q_ms:
+                break
+            hot_fin = self._committed_ms(hot) + hot_q_ms
+            cold_fin = self._committed_ms(cold) + cold_q_ms
+            if cold_fin + relief_ms >= hot_fin:
+                break
+            moves.append(self.server.migrate_session(session, cold.device_id))
+        return moves
+
+    def _committed_ms(self, pdev: "PooledDevice") -> float:
+        """When this device's pipeline resolves everything it has already
+        dispatched (0.0 in lockstep mode, where the round barrier means
+        nothing is ever in flight across a rebalance point)."""
+        pipe = self.server.scheduler.pipelines.get(pdev.device_id)
+        return pipe.completed_ms if pipe is not None else 0.0
+
     # -- session leveling ----------------------------------------------------------
 
     def _level_sessions(self, budget: int) -> list["MigrationRecord"]:
-        """Level *resident session counts*, not just queue depths.
+        """Level resident session load, not just queue depths.
 
         Queue shedding is blind to placement skew when queues drain to
         zero within each pass — exactly the state a device-loss failover
         leaves behind (every victim lands on the survivors while the
-        revived device sits empty). Moving sessions until counts are
-        within one of each other re-levels the fleet within a couple of
-        rounds; on an already-even pool the gate never opens.
+        revived device sits empty). Moving sessions until the skew
+        closes re-levels the fleet within a couple of rounds; on an
+        already-even pool the gate never opens. Cost mode compares
+        session counts weighted by per-request cost (demand-ms) and
+        vetoes any move that would leave the receiving device slower
+        than the donor already is, or whose one-time wire cost the freed
+        service time cannot repay; count mode is the original
+        count-gap-of-two policy.
         """
+        if self.server.pool.placement == "count":
+            return self._level_sessions_count(budget)
+        return self._level_sessions_cost(budget)
+
+    def _level_sessions_count(self, budget: int) -> list["MigrationRecord"]:
         pool = self.server.pool
         moves: list["MigrationRecord"] = []
         for _ in range(budget):
@@ -747,18 +866,86 @@ class Rebalancer:
             cold = min(usable, key=lambda d: d.session_count)
             if hot.session_count < cold.session_count + 2:
                 break
-            residents = self._sessions_on(hot)
-            if not residents:
+            session = self._leveling_candidate(hot)
+            if session is None:
                 break
-            # Prefer a session with nothing queued: its migration moves
-            # only the heap snapshot, never reorders pending work.
-            queued = {t.session for t in hot.queue}
-            idle = [s for s in residents if s not in queued]
-            session = (idle or residents)[0]
             moves.append(
                 self.server.migrate_session(session, cold.device_id)
             )
         return moves
+
+    def _level_sessions_cost(self, budget: int) -> list["MigrationRecord"]:
+        """Demand-ms leveling: the count gate with each resident session
+        weighted by its device's per-request cost. The gap must be worth
+        two cold-device requests (homogeneous pools: exactly the old
+        count-of-two gate), and a move is vetoed on either of two
+        cost/benefit checks:
+
+        * **capacity** — the cold device *after* absorbing one more
+          session would already out-demand the hot device. Moving a
+          session from a loaded Xeon to an idle Fermi card fails this,
+          because one session on the slow card costs more service time
+          than dozens on the fast one.
+        * **wire payback** — the one-time snapshot wire cost (both PCIe
+          legs) must pay for itself within two rounds of the per-session
+          service time it frees on the hot device (``2 * e_hot``, the
+          same two-request horizon as the shed gate). This is what stops
+          a fast CPU hoarding thousands of cheap resident sessions from
+          being "leveled" onto GPUs: freeing 0.2 us of Xeon time never
+          pays for a 5 us PCIe restore, while a homogeneous GPU pool's
+          post-failover re-level (two ~5 us legs against a ~7-40 us
+          per-request saving) always clears it.
+        """
+        pool = self.server.pool
+        moves: list["MigrationRecord"] = []
+        for _ in range(budget):
+            usable = [
+                d
+                for d in pool.devices.values()
+                if not d.draining and not d.device.lost
+            ]
+            if len(usable) < 2:
+                break
+            hot = max(usable, key=lambda d: d.resident_demand_ms)
+            cold = min(usable, key=lambda d: d.resident_demand_ms)
+            if (
+                hot.resident_demand_ms
+                < cold.resident_demand_ms + 2 * cold.probe_ms
+            ):
+                break
+            if (
+                (cold.session_count + 1) * cold.probe_ms
+                >= hot.session_count * hot.probe_ms
+            ):
+                break
+            est_bytes = int(
+                NODE_BYTES
+                * hot.session_retained_nodes
+                / max(1, hot.session_count)
+            )
+            wire_ms = link_ms(hot, est_bytes) + link_ms(cold, est_bytes)
+            if wire_ms >= 2 * hot.probe_ms:
+                break
+            session = self._leveling_candidate(hot)
+            if session is None:
+                break
+            moves.append(
+                self.server.migrate_session(session, cold.device_id)
+            )
+        return moves
+
+    def _leveling_candidate(
+        self, hot: "PooledDevice"
+    ) -> Optional["TenantSession"]:
+        """The session leveling moves off the hot device: prefer one
+        with nothing queued — its migration moves only the heap
+        snapshot, never reorders pending work."""
+        residents = self._sessions_on(hot)
+        if not residents:
+            return None
+        queued = {t.session for t in hot.queue}
+        idle = [s for s in residents if s not in queued]
+        return (idle or residents)[0]
 
     def _sessions_on(self, pdev: "PooledDevice") -> list["TenantSession"]:
         return [

@@ -61,6 +61,8 @@ class CuLiServer:
         failover_config: Optional[dict] = None,
         scheduler: Optional[str] = None,
         max_session_queue: int = 64,
+        placement: Optional[str] = None,
+        device_configs: Optional[Sequence] = None,
     ) -> None:
         # The serving layer defaults to the fast-path ablation (interned
         # symbols, indexed session roots, parse cache, generational
@@ -108,7 +110,19 @@ class CuLiServer:
                 cpu_config = CPUDeviceConfig(
                     interpreter=InterpreterOptions.fast(**fast_overrides)
                 )
-        self.pool = DevicePool(devices, gpu_config=gpu_config, cpu_config=cpu_config)
+        # Placement mode (heterogeneous-fleet PR): "cost" normalizes
+        # load by each device's calibrated capability (the default;
+        # REPRO_SERVE_PLACEMENT=count forces the count-based ablation
+        # fleet-wide), and ``device_configs`` gives individual devices
+        # their own config — a mixed fleet rarely wants one arena size
+        # everywhere. Both thread straight to the DevicePool.
+        self.pool = DevicePool(
+            devices,
+            gpu_config=gpu_config,
+            cpu_config=cpu_config,
+            device_configs=device_configs,
+            placement=placement,
+        )
         # Drain discipline (continuous-batching PR): serving defaults to
         # the async per-device pipelines — same ship-the-fast-mode
         # stance as the fast path / GC / JIT tiers — while
@@ -132,7 +146,9 @@ class CuLiServer:
         self.stats._queue_depth_fn = self.pool.queue_depths
         self.stats._scheduler_fn = self.scheduler.pipeline_snapshot
         for device_id, pdev in self.pool.devices.items():
-            self.stats.register_device(device_id, pdev.name, pdev.kind)
+            self.stats.register_device(
+                device_id, pdev.name, pdev.kind, capability_ms=pdev.probe_ms
+            )
         self.sessions: dict[str, TenantSession] = {}
         self._session_counter = count()
         # Elastic rebalancing (heap snapshot / migration PR): off by
@@ -367,7 +383,10 @@ class CuLiServer:
             for entry in entries:
                 session_id = entry["session_id"]
                 snap = HeapSnapshot.from_dict(entry["snapshot"])
-                pdev = self.pool.place_session()
+                # The session arrives with its heap: cost placement adds
+                # the snapshot's wire weight on each candidate's link
+                # (free on a CPU, charged on PCIe) to the backlog.
+                pdev = self.pool.place_session(incoming_nbytes=snap.nbytes)
                 try:
                     env = restore_env(
                         snap, pdev.device.interp, label=session_id

@@ -84,6 +84,7 @@ class DeviceStats:
     device_id: str
     name: str
     kind: str
+    capability_ms: float = 0.0  #: calibrated modeled ms per probe request
     busy_ms: float = 0.0     #: simulated time spent executing batches
     batches: int = 0
     requests: int = 0
@@ -206,8 +207,12 @@ class ServerStats:
 
     # -- recording ----------------------------------------------------------------
 
-    def register_device(self, device_id: str, name: str, kind: str) -> None:
-        self.per_device[device_id] = DeviceStats(device_id, name, kind)
+    def register_device(
+        self, device_id: str, name: str, kind: str, capability_ms: float = 0.0
+    ) -> None:
+        self.per_device[device_id] = DeviceStats(
+            device_id, name, kind, capability_ms
+        )
 
     def record_enqueue(self, n: int = 1) -> None:
         self.requests_enqueued += n
@@ -465,6 +470,22 @@ class ServerStats:
             device_id: d.busy_ms / makespan for device_id, d in self.per_device.items()
         }
 
+    def utilization_spread(self) -> float:
+        """Max minus min per-device utilization (0 with < 2 devices).
+
+        The fleet-balance health metric for heterogeneous pools: when
+        capability-aware placement is doing its job, busy share stays
+        clustered across unequal devices and the spread is small; a
+        count-based placement on a mixed fleet parks equal work on
+        unequal devices and the spread opens up (what
+        ``benchmarks/bench_hetero_fleet.py`` reports).
+        """
+        util = self.utilization()
+        if len(util) < 2:
+            return 0.0
+        values = list(util.values())
+        return max(values) - min(values)
+
     def queue_depths(self) -> dict[str, int]:
         """Live per-device queue depth (pending, not yet batched)."""
         if self._queue_depth_fn is None:
@@ -504,6 +525,10 @@ class ServerStats:
             },
             "throughput_rps": self.throughput_rps,
             "makespan_ms": self.simulated_makespan_ms,
+            "fleet": {
+                "devices": len(self.per_device),
+                "utilization_spread": self.utilization_spread(),
+            },
             "phases_ms": {
                 "parse": self.phase_totals.parse_ms,
                 "eval": self.phase_totals.eval_ms,
@@ -555,6 +580,7 @@ class ServerStats:
                 device_id: {
                     "name": d.name,
                     "kind": d.kind,
+                    "capability_ms": d.capability_ms,
                     "busy_ms": d.busy_ms,
                     "batches": d.batches,
                     "requests": d.requests,
@@ -596,7 +622,9 @@ class ServerStats:
             f" (mean {snap['batches']['mean_size']:.1f},"
             f" max {snap['batches']['max_size']})",
             f"throughput: {snap['throughput_rps']:.1f} req/s simulated"
-            f" over {snap['makespan_ms']:.3f} ms makespan",
+            f" over {snap['makespan_ms']:.3f} ms makespan "
+            f"({snap['fleet']['devices']} devices, utilization spread "
+            f"{snap['fleet']['utilization_spread'] * 100:.0f}%)",
             f"gc:       {snap['gc']['nodes_freed']} nodes freed in "
             f"{snap['gc']['regions_reset']} region resets + "
             f"{snap['gc']['major_collections']} major collections "
@@ -640,7 +668,8 @@ class ServerStats:
                 f"  {device_id} [{d['name']}/{d['kind']}]: {d['requests']} reqs in "
                 f"{d['batches']} batches, busy {d['busy_ms']:.3f} ms, "
                 f"util {d['utilization'] * 100:.0f}%, "
-                f"up {d['uptime'] * 100:.0f}%"
+                f"up {d['uptime'] * 100:.0f}%, "
+                f"cap {d['capability_ms']:.4f} ms/req"
             )
             state = breaker_states.get(device_id)
             if state is not None:

@@ -417,15 +417,21 @@ class DeviceSupervisor:
         target: Optional["PooledDevice"] = None
         env = None
         tried: set = set()
-        # Placement ladder: least-loaded surviving device first; an
-        # arena-exhausted restore cleans the target (a major collection
-        # reclaims any orphans a previous failed restore left) and
-        # retries once there, then moves to the next device. The pool's
-        # never-refuse fallback means the freshly revived device is the
-        # last resort — its arena is empty, so a checkpoint that fits
-        # anywhere fits there.
+        # Placement ladder: lowest-backlog surviving device first —
+        # under cost placement that means the fastest capable device
+        # with the cheapest restore link (the victim arrives carrying
+        # its checkpoint bytes), so recovery lands fastest-first on a
+        # heterogeneous fleet. An arena-exhausted restore cleans the
+        # target (a major collection reclaims any orphans a previous
+        # failed restore left) and retries once there, then moves to the
+        # next device. The pool's never-refuse fallback means the
+        # freshly revived device is the last resort — its arena is
+        # empty, so a checkpoint that fits anywhere fits there.
+        incoming = snap.nbytes if snap is not None else 0
         for _ in range(max(1, len(pool.devices))):
-            pdev = pool.place_session(exclude=set(exclude) | tried)
+            pdev = pool.place_session(
+                exclude=set(exclude) | tried, incoming_nbytes=incoming
+            )
             try:
                 if snap is not None:
                     try:

@@ -72,6 +72,7 @@ class DevicePipeline:
     down_free_ms: float = 0.0    #: device->host link free at
     completed_ms: float = 0.0    #: last batch's results landed at
     serial_ms: float = 0.0       #: no-overlap clock (sum of total_ms + waits)
+    engine_busy_ms: float = 0.0  #: total kernel occupancy charged so far
     batches: int = 0
     last: PipelineSlot | None = field(default=None, repr=False)
 
@@ -106,6 +107,7 @@ class DevicePipeline:
         self.serial_ms = max(self.serial_ms, floor_ms) + (
             upload_ms + kernel_ms + download_ms
         )
+        self.engine_busy_ms += kernel_ms
         self.batches += 1
         self.last = PipelineSlot(
             floor_ms=floor_ms,
@@ -121,6 +123,18 @@ class DevicePipeline:
     def overlap_ms(self) -> float:
         """Modeled time saved by double buffering vs. the serial clock."""
         return max(0.0, self.serial_ms - self.completed_ms)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this device's elapsed pipeline time the engine
+        spent computing (kernel occupancy / completion clock). The
+        per-device gauge behind the fleet utilization-spread metric: on
+        a well-balanced heterogeneous fleet every device's utilization
+        sits close together; a fleet that starves its fast devices shows
+        a wide spread."""
+        if self.completed_ms <= 0.0:
+            return 0.0
+        return self.engine_busy_ms / self.completed_ms
 
     @property
     def horizon_ms(self) -> float:

@@ -1,8 +1,9 @@
 """Seeded multi-tenant arrival traces: bursty, heavy-tailed, mixed-class.
 
-The workload generator behind ``benchmarks/bench_continuous_batching.py``
-and the async-vs-lockstep property tests (and the first step toward the
-roadmap's 10k-session replay harness). A trace is a list of
+The workload generator behind ``benchmarks/bench_continuous_batching.py``,
+``benchmarks/bench_hetero_fleet.py`` (the roadmap's 10k-session replay
+harness: ``weighting="zipf"`` over ~10k tenants), and the
+async-vs-lockstep property tests. A trace is a list of
 :class:`TraceRequest` — (arrival time, tenant, program text) — drawn
 from one seeded PRNG, so every consumer replays the *same* workload:
 
@@ -81,26 +82,56 @@ def generate_trace(
     heavy_tail: float = 0.15,
     interactive_share: float = 0.5,
     interactive_slo_ms: float = 5.0,
+    weighting: str = "step",
+    zipf_exponent: float = 1.1,
 ) -> list[TraceRequest]:
     """Generate a seeded arrival trace (sorted by arrival time).
 
-    ``skew`` is the hot/cold load ratio: the first quarter of tenants
-    receive ``skew``x the per-tenant request rate of the rest (4.0
-    reproduces the 4x-skewed shape of the rebalance bench).
+    Tenant load shares follow ``weighting``:
+
+    * ``"step"`` (default, the original shape) — the first quarter of
+      tenants receive ``skew``x the per-tenant request rate of the rest
+      (4.0 reproduces the 4x-skewed shape of the rebalance bench).
+    * ``"zipf"`` — tenant *t* gets weight ``1 / (t+1)**zipf_exponent``,
+      the heavy-tailed population shape of the roadmap's 10k-session
+      replay harness: a handful of hot tenants, a vast long tail of
+      one-request sessions. Any single tenant's share is clamped to 2%
+      of the trace so the head stays heavy without one tenant's strict
+      per-session ordering serializing the whole replay.
+
     ``heavy_tail`` is the probability a request draws a heavy nested
     form instead of a cheap one. The first ``interactive_share`` of
     tenants are interactive (tight ``interactive_slo_ms`` deadline,
     short bursts); the rest are bulk (no SLO, longer bursts). Arrivals
     are bursty: each tenant alternates exponential think pauses with
     ``burst_len``-sized runs of back-to-back submissions.
+
+    At 10k-session scale every tenant still gets at least one request,
+    so ``requests`` is effectively ``max(requests, tenants)``.
     """
     if tenants < 1 or requests < 1:
         raise ValueError("tenants and requests must be >= 1")
+    if weighting not in ("step", "zipf"):
+        raise ValueError(
+            f"unknown weighting {weighting!r}: expected 'step' or 'zipf'"
+        )
     rng = random.Random(seed)
     n_interactive = max(0, min(tenants, round(tenants * interactive_share)))
-    n_hot = max(1, tenants // 4)
-    weights = [skew if t < n_hot else 1.0 for t in range(tenants)]
-    total_w = sum(weights)
+    if weighting == "zipf":
+        weights = [1.0 / (t + 1) ** zipf_exponent for t in range(tenants)]
+        cap = max(1.0, 0.02 * requests)
+        total_w = sum(weights)
+        # Scale to request units, then clamp the head WITHOUT
+        # renormalizing — redistributing the clipped mass would hand it
+        # straight back to the head. The clipped requests are simply not
+        # emitted (the trace is a few percent short of ``requests``,
+        # which no consumer depends on exactly).
+        weights = [min(w / total_w * requests, cap) for w in weights]
+        total_w = float(requests)
+    else:
+        n_hot = max(1, tenants // 4)
+        weights = [skew if t < n_hot else 1.0 for t in range(tenants)]
+        total_w = sum(weights)
     out: list[TraceRequest] = []
     for tenant in range(tenants):
         interactive = tenant < n_interactive

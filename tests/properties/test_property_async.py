@@ -19,11 +19,21 @@ whichever scheduler ran.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.serve import ChaosMonkey, CuLiServer, generate_trace, replay_trace
 
-DEVICES = ["gtx1080", "gtx1080", "tesla-m40"]
+# REPRO_TEST_FLEET overrides the default pool with a comma-separated
+# device list, so CI's mixed-fleet matrix leg re-runs this whole module
+# on a heterogeneous (gpu+cpu) pool without duplicating the tests.
+_FLEET_ENV = os.environ.get("REPRO_TEST_FLEET", "")
+DEVICES = (
+    [name.strip() for name in _FLEET_ENV.split(",") if name.strip()]
+    or ["gtx1080", "gtx1080", "tesla-m40"]
+)
+MIXED_FLEET = ["gtx1080", "tesla-v100", "intel-e5-2620"]
 TENANTS = 12
 ROUNDS = 5
 
@@ -144,6 +154,41 @@ def test_trace_replay_transcripts_are_schedule_invariant(trace_seed):
             }
 
     assert replay("async") == replay("lockstep")
+
+
+def test_async_matches_lockstep_on_a_heterogeneous_fleet():
+    """The oracle property survives unequal devices: cost-aware
+    placement spreads tenants across a GPU+Volta+CPU pool by modeled
+    backlog, devices resolve batches at wildly different speeds, and
+    per-tenant transcripts still match lockstep byte for byte — with
+    rebalancing active, in both placement modes."""
+    for placement in ("cost", "count"):
+        lock, _ = run_scripted(
+            "lockstep",
+            devices=list(MIXED_FLEET),
+            rebalance=True,
+            placement=placement,
+        )
+        asy, acct = run_scripted(
+            "async",
+            devices=list(MIXED_FLEET),
+            rebalance=True,
+            placement=placement,
+        )
+        assert asy == lock, f"diverged under placement={placement}"
+        assert_balanced(acct)
+
+
+def test_transcripts_are_placement_invariant():
+    """Cost vs count placement puts sessions on different devices, but
+    every transcript is device-independent: same bytes either way."""
+    cost, _ = run_scripted(
+        "async", devices=list(MIXED_FLEET), placement="cost"
+    )
+    count, _ = run_scripted(
+        "async", devices=list(MIXED_FLEET), placement="count"
+    )
+    assert cost == count
 
 
 def test_fault_containment_is_schedule_invariant():

@@ -32,7 +32,14 @@ import pytest
 from repro.errors import DeviceLostError
 from repro.serve import ChaosMonkey, CuLiServer
 
-DEVICES = ["gtx1080", "gtx1080", "tesla-m40"]
+# REPRO_TEST_FLEET re-points the whole module at another device list
+# (CI's mixed-fleet leg runs it on a gpu+cpu pool).
+_FLEET_ENV = os.environ.get("REPRO_TEST_FLEET", "")
+DEVICES = (
+    [name.strip() for name in _FLEET_ENV.split(",") if name.strip()]
+    or ["gtx1080", "gtx1080", "tesla-m40"]
+)
+MIXED_FLEET = ["gtx1080", "tesla-v100", "intel-e5-2620"]
 TENANTS = 16
 ROUNDS = 8
 INTERVAL = 4
@@ -136,6 +143,33 @@ def test_hang_only_chaos_is_still_exactly_once(seed):
         assert transcripts == _expected()
         assert server.pending == 0
         assert server.stats.device_hangs > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_exactly_once_holds_on_a_heterogeneous_fleet(seed):
+    """Chaos on unequal devices: victims are restored fastest-capable-
+    first (the cost-placement failover ladder) and a CPU device can
+    inherit a GPU session's heap mid-recovery — transcripts must still
+    be byte-identical to the quiet truth, exactly once."""
+    monkey = ChaosMonkey(
+        seed=seed, kill_rate=0.08, hang_rate=0.05, idle_kill_rate=0.02
+    )
+    with CuLiServer(
+        devices=list(MIXED_FLEET),
+        chaos=monkey,
+        checkpoint_interval=INTERVAL,
+        failover_config={"breaker_failures": 3, "cooldown_rounds": 1},
+    ) as server:
+        transcripts = _run_tenants(server)
+        st = server.stats
+        assert monkey.events > 0, f"seed {seed} injected no chaos"
+        assert transcripts == _expected()
+        assert server.pending == 0
+        assert st.requests_enqueued == (
+            st.requests_completed + st.requests_cancelled
+        )
+        assert st.poisoned_requests == 0
+        assert st.rpo_rounds_max <= INTERVAL
 
 
 def test_total_kill_rate_still_terminates():

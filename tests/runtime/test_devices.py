@@ -67,9 +67,19 @@ class TestFactory:
 
 
 class TestInventory:
-    def test_eight_devices(self):
+    def test_nine_devices(self):
         specs = available_devices()
-        assert len(specs) == 8
+        assert len(specs) == 9
         assert [s.name for s in specs[:6]] == [
             "tesla-c2075", "tesla-k20", "tesla-m40", "gtx480", "gtx680", "gtx1080",
         ]
+        # The Volta generation is a first-class registry member (after
+        # the paper's six, before the CPU backends) without joining the
+        # paper's figure sweep.
+        assert specs[6].name == "tesla-v100"
+        assert [s.name for s in specs[7:]] == ["intel-e5-2620", "amd-6272"]
+
+    def test_paper_sweep_excludes_v100(self):
+        from repro.gpu.specs import ALL_GPUS
+
+        assert "tesla-v100" not in {s.name for s in ALL_GPUS}
