@@ -14,6 +14,9 @@ run by the perf-smoke job:
 * ``hetero`` — ``benchmarks/baselines/BENCH_hetero.json``: the mixed
   GPU+CPU fleet family (capability-aware vs count placement on the
   10k-session replay harness).
+* ``bulk`` — ``benchmarks/baselines/BENCH_bulk.json``: the data-parallel
+  ``gpu-map`` family (fleet sharding vs one device, interactive p99
+  under a co-running bulk job).
 
 Check a fresh run (exit 1 on drift beyond tolerance)::
 
@@ -39,6 +42,8 @@ import sys
 SERVE_MODULES = ("serve_throughput", "rebalance", "failover", "continuous_batching")
 #: Bench modules whose points feed the heterogeneous-fleet baseline.
 HETERO_MODULES = ("hetero_fleet",)
+#: Bench modules whose points feed the bulk gpu-map baseline.
+BULK_MODULES = ("gpu_map",)
 
 _BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
@@ -46,6 +51,7 @@ _BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 FAMILIES = {
     "serve": (SERVE_MODULES, os.path.join(_BASELINE_DIR, "BENCH_serve.json")),
     "hetero": (HETERO_MODULES, os.path.join(_BASELINE_DIR, "BENCH_hetero.json")),
+    "bulk": (BULK_MODULES, os.path.join(_BASELINE_DIR, "BENCH_bulk.json")),
 }
 
 

@@ -17,6 +17,7 @@ comparison.
 """
 
 from ..errors import AdmissionError
+from .bulk import BulkChunk, BulkJob, split_list_text
 from .capability import (
     PROBE_FORMS,
     capability_probe_ms,
@@ -42,6 +43,9 @@ from .supervisor import (
 
 __all__ = [
     "AdmissionError",
+    "BulkChunk",
+    "BulkJob",
+    "split_list_text",
     "CuLiServer",
     "ChaosMonkey",
     "DevicePipeline",

@@ -226,6 +226,17 @@ class Scheduler:
         request but age FIFO among themselves), ties broken by arrival
         then global submission order — a total, deterministic order.
 
+        A bulk-session chunk (``TenantSession.bulk``) never joins a
+        batch holding a deadline-bearing ticket: a batch's tickets all
+        resolve at its pipeline completion, so co-batching would charge
+        the chunk's kernel time straight onto the SLO tenant's latency.
+        Skipped chunks simply stay queued — they fill the device's very
+        next admission opportunity, so bulk still saturates every gap
+        between interactive batches (the coexistence bound
+        ``benchmarks/bench_gpu_map.py`` enforces). Finite-deadline
+        tickets sort ahead of every chunk, so the exclusion is one-way
+        by construction.
+
         The capacity and quarantine rules match :meth:`form_batch`: the
         combined payload stays within the command buffer, and a
         quarantined ticket only ever runs alone. With no SLOs and equal
@@ -254,16 +265,21 @@ class Scheduler:
         capacity = cmdbuf.capacity if cmdbuf is not None else None
         batch: list["Ticket"] = []
         payload = 0
+        has_deadline = False
         for ticket in admissible:
             if ticket.quarantined:
                 if not batch:
                     batch.append(ticket)  # solo quarantine batch
                 break
+            if ticket.session.bulk and has_deadline:
+                continue  # chunks wait for a deadline-free batch
             size = self.payload_size(ticket.text)
             if capacity is not None and batch and payload + size > capacity:
                 break
             payload += size
             batch.append(ticket)
+            if ticket.deadline_ms != float("inf"):
+                has_deadline = True
             if len(batch) >= self.max_batch:
                 break
         chosen = set(map(id, batch))

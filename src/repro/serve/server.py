@@ -31,6 +31,7 @@ from ..cpu.device import CPUDeviceConfig
 from ..errors import AdmissionError
 from ..gpu.device import GPUDeviceConfig
 from ..runtime.snapshot import HeapSnapshot, restore_env, snapshot_env
+from .bulk import DEFAULT_CHUNK_ELEMS, BulkJob, shard_bulk_job
 from .chaos import ChaosMonkey
 from .pool import DevicePool, DeviceSpec, PooledDevice, link_ms
 from .scheduler import Rebalancer, Scheduler
@@ -151,6 +152,11 @@ class CuLiServer:
             )
         self.sessions: dict[str, TenantSession] = {}
         self._session_counter = count()
+        # Bulk collection jobs (gpu-map PR): internal per-device
+        # sessions that carry sharded chunk requests, created lazily on
+        # first use and owned by the server (closed with it).
+        self._bulk_sessions: dict[str, TenantSession] = {}
+        self._bulk_counter = count()
         # Elastic rebalancing (heap snapshot / migration PR): off by
         # default so existing single-placement serving is untouched;
         # ``rebalance=True`` installs the default policy, or pass a
@@ -180,7 +186,10 @@ class CuLiServer:
     # -- sessions -----------------------------------------------------------------
 
     def open_session(
-        self, name: Optional[str] = None, slo_ms: Optional[float] = None
+        self,
+        name: Optional[str] = None,
+        slo_ms: Optional[float] = None,
+        device_id: Optional[str] = None,
     ) -> TenantSession:
         """Open a tenant session, pinned to the least-loaded device.
 
@@ -191,13 +200,21 @@ class CuLiServer:
         (default) is a bulk tenant — no deadline, FIFO among peers,
         never starved (EDF ties break by arrival, so bulk work ages to
         the front whenever no deadline is at risk).
+
+        ``device_id`` pins the session to a specific device instead of
+        letting placement choose — what the bulk shard path uses to put
+        one carrier session on *every* device.
         """
         if self._closed:
             raise RuntimeError("server is closed")
         session_id = name if name is not None else f"tenant-{next(self._session_counter)}"
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already open")
-        pdev = self.pool.place_session()
+        if device_id is None:
+            pdev = self.pool.place_session()
+        else:
+            pdev = self.pool[device_id]
+            pdev.session_count += 1
         env = pdev.device.create_session_env(label=session_id)
         session = TenantSession(self, session_id, pdev.device_id, env, slo_ms=slo_ms)
         self.sessions[session_id] = session
@@ -439,6 +456,80 @@ class CuLiServer:
         self.pool.enqueue(session.device_id, ticket)
         self.stats.record_enqueue()
         return ticket
+
+    # -- bulk collection jobs (host-sharded gpu-map) -------------------------------
+
+    def _bulk_session(self, device_id: str) -> TenantSession:
+        """The internal bulk-carrier session pinned to ``device_id``.
+
+        Created lazily, reused across jobs (its environment holds no
+        per-job state — chunk texts are self-contained), re-created if a
+        rebalance or failover moved it off its device. No SLO, and
+        flagged ``bulk``: chunk tickets take a ``+inf`` deadline so
+        interactive deadlines always admit first, and the async batch
+        former additionally refuses to co-batch a chunk with any
+        deadline-bearing ticket (batches resolve atomically, so mixing
+        would bill chunk kernel time to the SLO tenant's latency).
+        """
+        session = self._bulk_sessions.get(device_id)
+        if (
+            session is None
+            or session.closed
+            or session.device_id != device_id
+        ):
+            session = self.open_session(
+                name=f"bulk@{device_id}/{next(self._bulk_counter)}",
+                slo_ms=None,
+                device_id=device_id,
+            )
+            session.bulk = True
+            self._bulk_sessions[device_id] = session
+        return session
+
+    def submit_bulk(
+        self,
+        fn_text: str,
+        elements,
+        chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+        arrival_ms: Optional[float] = None,
+    ) -> BulkJob:
+        """Shard one ``gpu-map`` over the fleet; returns the pending job.
+
+        ``elements`` (literals or literal texts) split into contiguous
+        per-device ranges proportional to calibrated capability, each
+        range sub-chunked to ``chunk_elems`` and submitted as an
+        ordinary request on that device's bulk session. Flush the
+        server, then read ``job.result()`` for the gathered list (in
+        element order). ``fn_text`` must be self-contained over the
+        global environment — a builtin name or a ``lambda`` text.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if chunk_elems < 1:
+            raise ValueError("chunk_elems must be >= 1")
+        job = shard_bulk_job(
+            self,
+            next(self._bulk_counter),
+            fn_text,
+            elements,
+            chunk_elems,
+            arrival_ms,
+        )
+        return job
+
+    def gpu_map(
+        self,
+        fn_text: str,
+        elements,
+        chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+    ) -> str:
+        """Synchronous convenience: submit a bulk job, flush, gather.
+
+        Other tenants' queued requests ride along in the same flush —
+        bulk chunks saturate idle capacity behind their deadlines."""
+        job = self.submit_bulk(fn_text, elements, chunk_elems=chunk_elems)
+        self.flush()
+        return job.result()
 
     def flush(self) -> int:
         """Serve every queued request in batches; returns batches run.

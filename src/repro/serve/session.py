@@ -138,6 +138,12 @@ class TenantSession:
         #: bulk tenant with no deadline. Drives the async scheduler's
         #: deadline-aware (EDF) batch ordering.
         self.slo_ms = slo_ms
+        #: True for the server's internal bulk-job sessions (gpu-map
+        #: chunk carriers). Batches resolve atomically at pipeline
+        #: completion, so the async batch former keeps bulk chunks out
+        #: of any batch holding a deadline-bearing ticket — chunk kernel
+        #: time must never inflate an SLO tenant's latency.
+        self.bulk = False
         self.history: list[CommandStats] = []
         #: Unresolved tickets (admission control: the server refuses new
         #: submissions past ``max_session_queue``). Maintained by

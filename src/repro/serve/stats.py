@@ -196,6 +196,15 @@ class ServerStats:
         # and submissions refused by admission control (backpressure).
         self.latency = LatencyReservoir()
         self.requests_rejected = 0
+        # Bulk collection counters (gpu-map PR): host-sharded jobs, the
+        # chunk tickets they fanned out to, the elements those carried,
+        # jobs gathered back, and chunks that resolved with a contained
+        # error (the job surfaces it; siblings were unaffected).
+        self.bulk_jobs = 0
+        self.bulk_chunks = 0
+        self.bulk_elements = 0
+        self.bulk_jobs_gathered = 0
+        self.bulk_chunk_errors = 0
         self.per_device: dict[str, DeviceStats] = {}
         #: live queue-depth gauge, installed by the server
         self._queue_depth_fn: Optional[Callable[[], dict[str, int]]] = None
@@ -265,6 +274,19 @@ class ServerStats:
         """Submissions refused by admission control (per-tenant queue
         cap): shed at the front door, never enqueued."""
         self.requests_rejected += n
+
+    def record_bulk_submitted(self, chunks: int, elements: int) -> None:
+        """One bulk job sharded into ``chunks`` tickets carrying
+        ``elements`` list elements across the fleet."""
+        self.bulk_jobs += 1
+        self.bulk_chunks += chunks
+        self.bulk_elements += elements
+
+    def record_bulk_gathered(self, errors: int = 0) -> None:
+        """One bulk job's chunks gathered back in element order;
+        ``errors`` chunks resolved with a contained fault."""
+        self.bulk_jobs_gathered += 1
+        self.bulk_chunk_errors += errors
 
     def record_batch_fatal(self, device_id: str) -> None:
         """A whole batch transaction aborted on a device-fatal error."""
@@ -549,6 +571,13 @@ class ServerStats:
                 "trace_hits": self.jit_trace_hits,
                 "guard_bails": self.jit_guard_bails,
             },
+            "bulk": {
+                "jobs": self.bulk_jobs,
+                "chunks": self.bulk_chunks,
+                "elements": self.bulk_elements,
+                "jobs_gathered": self.bulk_jobs_gathered,
+                "chunk_errors": self.bulk_chunk_errors,
+            },
             "rebalance": {
                 "migrations": self.sessions_migrated,
                 "nodes_moved": self.migration_nodes,
@@ -632,6 +661,11 @@ class ServerStats:
             f"jit:      {snap['jit']['traces_compiled']} traces compiled, "
             f"{snap['jit']['trace_hits']} trace hits, "
             f"{snap['jit']['guard_bails']} guard bails",
+            f"bulk:     {snap['bulk']['jobs']} jobs "
+            f"({snap['bulk']['chunks']} chunks, "
+            f"{snap['bulk']['elements']} elements), "
+            f"{snap['bulk']['jobs_gathered']} gathered, "
+            f"{snap['bulk']['chunk_errors']} chunk errors",
             f"rebalance: {snap['rebalance']['migrations']} migrations "
             f"({snap['rebalance']['nodes_moved']} nodes, "
             f"{snap['rebalance']['transfer_ms']:.3f} ms transfer), "

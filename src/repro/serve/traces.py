@@ -72,6 +72,84 @@ def _heavy_form(rng: random.Random, depth: int) -> str:
     return expr
 
 
+def _bulk_map_form(rng: random.Random, elems: int) -> str:
+    """A bulk collection command: one ``gpu-map`` over ``elems`` literals.
+
+    The Charon-style workload shape (``l.gpu_map(stirling, carray)``) —
+    one function mapped over a whole constant frame — as a single pure
+    request text, so mixed bulk+interactive traces stay replayable on
+    any scheduler/gc/jit configuration with byte-identical transcripts.
+    """
+    c = rng.randint(1, 9)
+    values = " ".join(str(rng.randint(1, 99)) for _ in range(elems))
+    return f"(gpu-map (lambda (x) (+ (* x x) {c})) ({values}))"
+
+
+def _zipf_counts(
+    weights: list[float], target: int, cap: int
+) -> list[int]:
+    """Apportion exactly ``target`` requests over zipf ``weights``.
+
+    Deterministic largest-remainder water-filling: every tenant gets a
+    floor of one request (the long tail is sessions, not silence), no
+    tenant exceeds ``cap``, and the counts sum to ``target`` *exactly* —
+    the budget accounting the old ``max(1, round(share))`` per-tenant
+    rounding drifted off in both directions (a long tail of forced 1s
+    above budget, clipped head mass below it, unreported either way).
+    """
+    tenants = len(weights)
+    if tenants * cap < target:
+        # The clamp cannot hold the budget (pathological parameters:
+        # requests >> tenants * 2%); budget correctness wins over the
+        # head clamp, which exists only to keep per-session FIFO from
+        # serializing the replay.
+        cap = -(-target // tenants)  # ceil
+    room = [cap - 1] * tenants
+    quota = [0.0] * tenants
+    budget = target - tenants
+    # Continuous water-fill: grant proportionally, park overflow at the
+    # cap, redistribute over the still-open tenants until none is left.
+    remaining = float(budget)
+    active = list(range(tenants))
+    while remaining > 1e-9 and active:
+        w_sum = sum(weights[t] for t in active)
+        overflow = 0.0
+        still_open = []
+        for t in active:
+            grant = remaining * weights[t] / w_sum
+            total = quota[t] + grant
+            if total >= room[t]:
+                overflow += total - room[t]
+                quota[t] = float(room[t])
+            else:
+                quota[t] = total
+                still_open.append(t)
+        remaining = overflow
+        active = still_open
+    # Integerize to hit the budget exactly: floors first, then the
+    # shortfall by largest fractional remainder (tenant index breaks
+    # ties — total, deterministic order), never past a tenant's room.
+    extra = [int(quota[t]) for t in range(tenants)]
+    short = budget - sum(extra)
+    order = sorted(
+        range(tenants), key=lambda t: (-(quota[t] - extra[t]), t)
+    )
+    for t in order:
+        if short <= 0:
+            break
+        if extra[t] < room[t]:
+            extra[t] += 1
+            short -= 1
+    if short > 0:  # every fractional candidate hit its room: second pass
+        for t in range(tenants):
+            take = min(short, room[t] - extra[t])
+            extra[t] += take
+            short -= take
+            if short <= 0:
+                break
+    return [1 + extra[t] for t in range(tenants)]
+
+
 def generate_trace(
     seed: int = 0,
     tenants: int = 16,
@@ -84,6 +162,8 @@ def generate_trace(
     interactive_slo_ms: float = 5.0,
     weighting: str = "step",
     zipf_exponent: float = 1.1,
+    gpu_map_share: float = 0.0,
+    gpu_map_elems: int = 32,
 ) -> list[TraceRequest]:
     """Generate a seeded arrival trace (sorted by arrival time).
 
@@ -95,19 +175,30 @@ def generate_trace(
     * ``"zipf"`` — tenant *t* gets weight ``1 / (t+1)**zipf_exponent``,
       the heavy-tailed population shape of the roadmap's 10k-session
       replay harness: a handful of hot tenants, a vast long tail of
-      one-request sessions. Any single tenant's share is clamped to 2%
+      one-request sessions. Any single tenant's count is clamped to 2%
       of the trace so the head stays heavy without one tenant's strict
-      per-session ordering serializing the whole replay.
+      per-session ordering serializing the whole replay, and the
+      clipped head mass is redistributed down the tail
+      (:func:`_zipf_counts`), so the emitted request count is *exactly*
+      ``max(requests, tenants)`` — deterministic, not
+      rounding-drifted.
 
     ``heavy_tail`` is the probability a request draws a heavy nested
-    form instead of a cheap one. The first ``interactive_share`` of
-    tenants are interactive (tight ``interactive_slo_ms`` deadline,
-    short bursts); the rest are bulk (no SLO, longer bursts). Arrivals
-    are bursty: each tenant alternates exponential think pauses with
-    ``burst_len``-sized runs of back-to-back submissions.
+    form instead of a cheap one. ``gpu_map_share`` (default off) mixes
+    bulk collection work into the non-interactive tenants: each bulk
+    request has that probability of being a ``gpu-map`` over
+    ``gpu_map_elems`` literal elements instead of a scalar form — the
+    mixed bulk+interactive workload the coexistence benches replay.
+    The first ``interactive_share`` of tenants are interactive (tight
+    ``interactive_slo_ms`` deadline, short bursts); the rest are bulk
+    (no SLO, longer bursts). Arrivals are bursty: each tenant
+    alternates exponential think pauses with ``burst_len``-sized runs
+    of back-to-back submissions.
 
     At 10k-session scale every tenant still gets at least one request,
-    so ``requests`` is effectively ``max(requests, tenants)``.
+    so the budget is ``max(requests, tenants)`` (exact for zipf;
+    per-tenant-rounded for step, whose shape predates the exact
+    accounting and is pinned by the serve bench baselines).
     """
     if tenants < 1 or requests < 1:
         raise ValueError("tenants and requests must be >= 1")
@@ -119,24 +210,20 @@ def generate_trace(
     n_interactive = max(0, min(tenants, round(tenants * interactive_share)))
     if weighting == "zipf":
         weights = [1.0 / (t + 1) ** zipf_exponent for t in range(tenants)]
-        cap = max(1.0, 0.02 * requests)
-        total_w = sum(weights)
-        # Scale to request units, then clamp the head WITHOUT
-        # renormalizing — redistributing the clipped mass would hand it
-        # straight back to the head. The clipped requests are simply not
-        # emitted (the trace is a few percent short of ``requests``,
-        # which no consumer depends on exactly).
-        weights = [min(w / total_w * requests, cap) for w in weights]
-        total_w = float(requests)
+        cap = max(1, round(0.02 * requests))
+        counts = _zipf_counts(weights, max(requests, tenants), cap)
     else:
         n_hot = max(1, tenants // 4)
         weights = [skew if t < n_hot else 1.0 for t in range(tenants)]
         total_w = sum(weights)
+        counts = [
+            max(1, round(requests * weights[t] / total_w))
+            for t in range(tenants)
+        ]
     out: list[TraceRequest] = []
     for tenant in range(tenants):
         interactive = tenant < n_interactive
-        share = round(requests * weights[tenant] / total_w)
-        n = max(1, share)
+        n = counts[tenant]
         # Bursty on/off arrivals: mean gap sized so the tenant's bursts
         # spread over the trace duration.
         tenant_burst = burst_len if not interactive else max(1, burst_len // 2)
@@ -146,12 +233,23 @@ def generate_trace(
         emitted = 0
         while emitted < n:
             for _ in range(min(tenant_burst, n - emitted)):
-                heavy = rng.random() < heavy_tail and not interactive
-                text = (
-                    _heavy_form(rng, depth=rng.randint(8, 24))
-                    if heavy
-                    else _cheap_form(rng)
+                # The gpu_map_share draw happens ONLY when the mixed
+                # mode is on, so the default PRNG stream (and therefore
+                # every baseline trace) stays byte-identical.
+                bulk_map = (
+                    gpu_map_share > 0.0
+                    and not interactive
+                    and rng.random() < gpu_map_share
                 )
+                if bulk_map:
+                    text = _bulk_map_form(rng, gpu_map_elems)
+                else:
+                    heavy = rng.random() < heavy_tail and not interactive
+                    text = (
+                        _heavy_form(rng, depth=rng.randint(8, 24))
+                        if heavy
+                        else _cheap_form(rng)
+                    )
                 out.append(
                     TraceRequest(
                         arrival_ms=round(t, 4),

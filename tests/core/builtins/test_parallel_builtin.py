@@ -1,8 +1,8 @@
-"""The ||| builtin's semantics (engine-independent: sequential engine)."""
+"""The |||/gpu-map/preduce builtins (engine-independent: sequential engine)."""
 
 import pytest
 
-from repro.errors import EvalError, TypeMismatchError
+from repro.errors import ArityError, EvalError, TypeMismatchError
 
 
 class TestPaperExample:
@@ -29,12 +29,30 @@ class TestPaperExample:
         run("(setq dbl (lambda (x) (* 2 x)))")
         assert run("(||| 2 dbl (5 6))") == "(10 12)"
 
-    def test_lists_longer_than_n_use_prefix(self, run):
-        assert run("(||| 2 + (1 2 3 4) (10 20 30 40))") == "(11 22)"
-
     def test_computed_arguments(self, run):
         run("(setq data (list 1 2 3))")
         assert run("(||| 3 + data data)") == "(2 4 6)"
+
+
+class TestSurplusElements:
+    """n is the explicit worker count (§III-D), so lists longer than n
+    contribute exactly their first n elements — pinned here so gpu-map
+    (which consumes *all* elements, erroring on ragged input) cannot
+    inherit any ambiguity from |||."""
+
+    def test_lists_longer_than_n_use_prefix(self, run):
+        assert run("(||| 2 + (1 2 3 4) (10 20 30 40))") == "(11 22)"
+
+    def test_surplus_in_one_list_only_is_also_truncated(self, run):
+        assert run("(||| 2 + (1 2) (10 20 30 40))") == "(11 22)"
+
+    def test_surplus_elements_are_never_evaluated_as_jobs(self, run):
+        # Exactly n results come back, whatever the list lengths.
+        assert run("(||| 1 - (9 8 7) (4 3 2))") == "(5)"
+
+    def test_computed_list_surplus_truncated(self, run):
+        run("(setq data (list 1 2 3 4 5))")
+        assert run("(||| 3 * data data)") == "(1 4 9)"
 
 
 class TestWorkerEnvironment:
@@ -54,6 +72,29 @@ class TestValidation:
     def test_zero_threads_rejected(self, run):
         with pytest.raises(EvalError, match="positive"):
             run("(||| 0 + (1) (2))")
+
+    def test_no_argument_lists_rejected(self, run):
+        # (||| 3 +) used to slip past min arity 2 and dispatch three
+        # empty rows to the engine; rejected at arity now (ArityError
+        # is an EvalError).
+        with pytest.raises(ArityError, match="at least 3"):
+            run("(||| 3 +)")
+
+    def test_no_argument_lists_rejected_for_n_1(self, run):
+        with pytest.raises(ArityError, match="at least 3"):
+            run("(||| 1 +)")
+
+    def test_empty_list_rejected(self, run):
+        # An empty argument list cannot feed even one worker.
+        with pytest.raises(EvalError, match="fewer than"):
+            run("(||| 3 + ())")
+
+    def test_empty_list_rejected_for_n_1(self, run):
+        with pytest.raises(EvalError, match="fewer than"):
+            run("(||| 1 + ())")
+
+    def test_n_1_with_one_element_still_works(self, run):
+        assert run("(||| 1 + (41) (1))") == "(42)"
 
     def test_non_integer_threads(self, run):
         with pytest.raises(TypeMismatchError):
@@ -75,3 +116,98 @@ class TestValidation:
         run("(defmacro m (x) x)")
         with pytest.raises(TypeMismatchError, match="macro"):
             run("(||| 1 m (1))")
+
+
+class TestGpuMap:
+    """(gpu-map fn list...) — whole-list mapping through the engine."""
+
+    def test_maps_every_element(self, run):
+        run("(defun sq (x) (* x x))")
+        assert run("(gpu-map sq (1 2 3 4 5))") == "(1 4 9 16 25)"
+
+    def test_two_lists_rowwise(self, run):
+        assert run("(gpu-map + (1 2 3) (10 20 30))") == "(11 22 33)"
+
+    def test_matches_mapcar(self, run):
+        run("(defun f (x) (+ (* x x) 1))")
+        assert run("(gpu-map f (iota 20))") == run("(mapcar f (iota 20))")
+
+    def test_empty_list_maps_to_empty(self, run):
+        assert run("(gpu-map + ())") == run("(mapcar + ())")
+
+    def test_single_element(self, run):
+        assert run("(gpu-map - (7) (3))") == "(4)"
+
+    def test_lambda(self, run):
+        assert run("(gpu-map (lambda (x) (* 2 x)) (5 6 7))") == "(10 12 14)"
+
+    def test_more_jobs_than_any_worker_count(self, run):
+        # 200 rows: the engines run multiple distribution rounds.
+        assert run("(gpu-map (lambda (x) x) (iota 200))") == run("(iota 200)")
+
+    def test_sees_call_site_env(self, run):
+        run("(defun use-k (x) (+ x k))")
+        assert run("(let ((k 100)) (gpu-map use-k (1 2)))") == "(101 102)"
+
+    def test_ragged_lists_rejected(self, run):
+        # No worker count to truncate to: consuming all elements is the
+        # contract, so unequal lengths are an error, never a silent slice.
+        with pytest.raises(EvalError, match="equal length"):
+            run("(gpu-map + (1 2 3) (10 20))")
+
+    def test_ragged_first_list_longer_rejected(self, run):
+        with pytest.raises(EvalError, match="equal length"):
+            run("(gpu-map + (1 2) (10 20 30))")
+
+    def test_non_function_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(gpu-map 42 (1 2))")
+
+    def test_non_list_rejected(self, run):
+        with pytest.raises(TypeMismatchError):
+            run("(gpu-map + 5)")
+
+    def test_macro_rejected(self, run):
+        run("(defmacro m (x) x)")
+        with pytest.raises(TypeMismatchError, match="macro"):
+            run("(gpu-map m (1))")
+
+    def test_no_lists_rejected(self, run):
+        with pytest.raises(ArityError, match="at least 2"):
+            run("(gpu-map +)")
+
+
+class TestPreduce:
+    """(preduce fn list [init]) — parallel tree reduction."""
+
+    def test_sum(self, run):
+        assert run("(preduce + (1 2 3 4 5 6 7 8))") == "36"
+
+    def test_matches_sequential_reduce_for_associative_fn(self, run):
+        assert run("(preduce + (iota 100))") == run("(reduce + (iota 100))")
+        assert run("(preduce * (1 2 3 4 5 6))") == run("(reduce * (1 2 3 4 5 6))")
+
+    def test_odd_length(self, run):
+        assert run("(preduce + (1 2 3 4 5))") == "15"
+
+    def test_single_element(self, run):
+        assert run("(preduce + (42))") == "42"
+
+    def test_initial_value(self, run):
+        assert run("(preduce + (1 2 3) 100)") == "106"
+
+    def test_empty_with_init(self, run):
+        assert run("(preduce + () 7)") == "7"
+
+    def test_empty_without_init_rejected(self, run):
+        with pytest.raises(EvalError, match="empty"):
+            run("(preduce + ())")
+
+    def test_user_function(self, run):
+        run("(defun pick-max (a b) (if (< a b) b a))")
+        assert run("(preduce pick-max (3 1 4 1 5 9 2 6))") == "9"
+
+    def test_macro_rejected(self, run):
+        run("(defmacro m (a b) a)")
+        with pytest.raises(TypeMismatchError, match="macro"):
+            run("(preduce m (1 2))")

@@ -414,6 +414,42 @@ class TestZipfTrace:
         b = generate_trace(seed=7, tenants=100, requests=500, weighting="zipf")
         assert a == b
 
+    def test_zipf_emits_exactly_the_request_budget(self):
+        # The old max(1, round(share)) per-tenant rounding drifted the
+        # emitted count both above (forced tail 1s) and below (clipped
+        # head mass) the budget; the apportionment is now exact.
+        for tenants, requests in [(400, 2_000), (100, 5_000), (16, 64)]:
+            trace = generate_trace(
+                seed=3, tenants=tenants, requests=requests, weighting="zipf"
+            )
+            assert len(trace) == max(requests, tenants)
+
+    def test_zipf_budget_exact_at_10k_tenants(self):
+        # The roadmap-scale shape: 10k sessions sharing a 12k budget.
+        trace = generate_trace(
+            seed=2018,
+            tenants=10_000,
+            requests=12_000,
+            duration_ms=5.0,
+            weighting="zipf",
+            zipf_exponent=1.1,
+        )
+        assert len(trace) == 12_000
+        counts: dict[int, int] = {}
+        for req in trace:
+            counts[req.tenant] = counts.get(req.tenant, 0) + 1
+        assert len(counts) == 10_000            # every tenant appears
+        assert max(counts.values()) <= 240      # 2% head clamp holds
+
+    def test_zipf_floor_when_tenants_exceed_requests(self):
+        # requests < tenants: the one-request floor wins and the budget
+        # is the tenant count, each exactly once.
+        trace = generate_trace(
+            seed=1, tenants=50, requests=10, weighting="zipf"
+        )
+        assert len(trace) == 50
+        assert sorted({req.tenant for req in trace}) == list(range(50))
+
     def test_step_weighting_unchanged_by_default(self):
         a = generate_trace(seed=5, tenants=16, requests=128)
         b = generate_trace(seed=5, tenants=16, requests=128, weighting="step")
